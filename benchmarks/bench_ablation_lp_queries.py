@@ -1,0 +1,49 @@
+"""Ablation: the query-count axis of the Fundamental Law.
+
+E3 sweeps noise at a fixed query budget; this bench sweeps the budget at
+fixed noise — the other horn of "overly accurate answers to *too many
+questions*".  LP decoding needs m = Omega(n) random queries: below ~2n it
+falls apart, by ~8n it saturates.  This justifies the m = 8n default used
+throughout the reconstruction experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.queries.mechanism import BoundedNoiseAnswerer
+from repro.reconstruction.lp_decode import lp_reconstruction
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+N = 128
+REPEATS = 3
+
+
+def _evaluate():
+    sqrt_n = float(np.sqrt(N))
+    table = Table(
+        ["queries m", "m/n", "agreement (alpha = 0.5*sqrt(n))"],
+        title=f"Ablation: LP reconstruction vs query budget (n={N})",
+    )
+    agreement_by_ratio = {}
+    for ratio in (1, 2, 4, 8, 16):
+        agreements = []
+        for repeat in range(REPEATS):
+            rng = derive_rng(0, "ablation-m", ratio, repeat)
+            data = rng.integers(0, 2, size=N)
+            answerer = BoundedNoiseAnswerer(data, alpha=0.5 * sqrt_n, rng=rng)
+            result = lp_reconstruction(answerer, num_queries=ratio * N, rng=rng)
+            agreements.append(result.agreement_with(data))
+        agreement = float(np.mean(agreements))
+        table.add_row([ratio * N, ratio, agreement])
+        agreement_by_ratio[ratio] = agreement
+    return table, agreement_by_ratio
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_lp_query_budget(benchmark):
+    table, agreement = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert agreement[8] >= 0.95  # the default budget is in the saturated regime
+    assert agreement[1] < agreement[8]  # and the budget axis matters

@@ -1,0 +1,88 @@
+"""Ablation: sensitivity of PSO verdicts to the negligibility exponent.
+
+DESIGN.md makes "negligible at finite n" operational as ``w <= n^-c`` with
+default c = 2.  This bench sweeps c and shows the paper's qualitative
+verdicts are stable: the k-anonymity and composition attacks win at every
+reasonable cutoff, and the trivial attacker never does — i.e. the
+experiments' conclusions are not an artifact of the chosen c.
+"""
+
+import pytest
+
+from repro.anonymity import AgreementAnonymizer
+from repro.core import (
+    ConstantMechanism,
+    KAnonymityMechanism,
+    KAnonymityPSOAttacker,
+    PSOGame,
+    TrivialAttacker,
+)
+from repro.core.attackers import build_composition_suite
+from repro.data.distributions import uniform_bits_distribution
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+N = 200
+TRIALS = 25
+
+
+def _evaluate():
+    distribution = uniform_bits_distribution(128)
+    table = Table(
+        [
+            "negligibility exponent c",
+            "threshold n^-c",
+            "k-anon attack",
+            "composition attack",
+            "trivial attacker",
+        ],
+        title=f"Ablation: verdicts vs the finite-n negligibility cutoff (n={N})",
+    )
+    stable = True
+    for exponent in (1.5, 2.0, 3.0):
+        # The composition suite sizes its bit probes to the cutoff in play.
+        suite = build_composition_suite(N, negligible_exponent=exponent)
+        kanon = PSOGame(
+            distribution,
+            N,
+            KAnonymityMechanism(AgreementAnonymizer(4), label="agreement"),
+            KAnonymityPSOAttacker("refine"),
+            negligible_exponent=exponent,
+        ).run(TRIALS, derive_rng(0, "ablation-c", "kanon", exponent))
+        comp = PSOGame(
+            distribution,
+            N,
+            suite.mechanism,
+            suite.adversary,
+            negligible_exponent=exponent,
+        ).run(TRIALS, derive_rng(0, "ablation-c", "comp", exponent))
+        trivial = PSOGame(
+            distribution,
+            N,
+            ConstantMechanism(),
+            TrivialAttacker("optimal"),
+            negligible_exponent=exponent,
+        ).run(TRIALS, derive_rng(0, "ablation-c", "trivial", exponent))
+        table.add_row(
+            [
+                exponent,
+                float(N) ** (-exponent),
+                str(kanon.success),
+                str(comp.success),
+                str(trivial.success),
+            ]
+        )
+        stable = stable and (
+            kanon.success.estimate >= 0.2
+            and comp.success.estimate >= 0.3
+            and trivial.success.estimate == 0.0
+        )
+    return table, stable
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_negligibility_exponent(benchmark):
+    table, stable = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert stable, "a verdict flipped under a reasonable negligibility cutoff"

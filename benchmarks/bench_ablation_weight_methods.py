@@ -1,0 +1,71 @@
+"""Ablation: weight-computation routes (exact / analytic / Monte Carlo).
+
+DESIGN.md commits to exact structural weights where possible and
+Clopper-Pearson-bounded Monte Carlo otherwise.  This bench measures what
+that buys: agreement between the three routes on predicates where all are
+available, and the cost of the Monte-Carlo fallback relative to the exact
+path (the reason the PSO game prefers structure).
+"""
+
+import time
+
+import pytest
+
+from repro.core.leftover_hash import hash_threshold_predicate
+from repro.core.predicate import Predicate, attribute_predicate
+from repro.data.distributions import uniform_bits_distribution
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+SAMPLES = 20_000
+
+
+def _evaluate():
+    distribution = uniform_bits_distribution(24)
+    # A structural conjunction with known weight 2^-6.
+    structural = attribute_predicate("b0", 1)
+    for i in range(1, 6):
+        structural = structural & attribute_predicate(f"b{i}", 1)
+    # The same membership function, but opaque (forces Monte Carlo).
+    opaque = Predicate(
+        lambda record: all(record[f"b{i}"] == 1 for i in range(6)),
+        "opaque 6-bit conjunction",
+    )
+    # A hash cut with analytic weight 2^-6.
+    analytic = hash_threshold_predicate("ablation-w", 2.0**-6)
+
+    table = Table(
+        ["route", "weight", "safe bound", "time (ms)"],
+        title="Ablation: weight-computation routes on a true-2^-6 predicate",
+    )
+    results = {}
+    for label, predicate in (
+        ("exact (structural)", structural),
+        ("analytic (hash)", analytic),
+        ("Monte Carlo (opaque)", opaque),
+    ):
+        start = time.perf_counter()
+        weight = predicate.weight(distribution, samples=SAMPLES, rng=derive_rng(0, label))
+        bound = predicate.weight_bound(
+            distribution, samples=SAMPLES, rng=derive_rng(1, label)
+        )
+        elapsed = (time.perf_counter() - start) * 1000.0
+        table.add_row([label, weight, bound, elapsed])
+        results[label] = (weight, bound, elapsed)
+    return table, results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_weight_methods(benchmark):
+    table, results = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    truth = 2.0**-6
+    exact_weight, exact_bound, exact_ms = results["exact (structural)"]
+    analytic_weight, _, _ = results["analytic (hash)"]
+    mc_weight, mc_bound, mc_ms = results["Monte Carlo (opaque)"]
+    assert exact_weight == pytest.approx(truth, rel=1e-12)
+    assert analytic_weight == pytest.approx(truth, rel=1e-12)
+    assert mc_weight == pytest.approx(truth, rel=0.5)  # sampling error
+    assert mc_bound >= truth  # the CP bound is safe
+    assert exact_ms < mc_ms  # structure is the cheap path

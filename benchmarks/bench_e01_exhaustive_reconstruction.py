@@ -1,0 +1,20 @@
+"""Benchmark E1 — Theorem 1.1(i): exhaustive reconstruction at alpha = c*n.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e01")
+def test_e01_exhaustive_reconstruction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["min_agreement_at_small_c"] >= 0.95

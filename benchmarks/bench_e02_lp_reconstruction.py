@@ -1,0 +1,20 @@
+"""Benchmark E2 — Theorem 1.1(ii): LP reconstruction at alpha = c'*sqrt(n).
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_lp_reconstruction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["min_agreement_at_c_half"] >= 0.9

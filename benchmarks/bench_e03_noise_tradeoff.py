@@ -1,0 +1,20 @@
+"""Benchmark E3 — Fundamental Law: noise/accuracy crossover.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_noise_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E3", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["agreement_at_linear_noise"] <= 0.8

@@ -1,0 +1,20 @@
+"""Benchmark E4 — Sweeney: uniqueness of (ZIP, birth date, sex).
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e04")
+def test_e04_sweeney_uniqueness(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["unique_fraction_full_triple"] >= 0.9

@@ -1,0 +1,20 @@
+"""Benchmark E5 — Sweeney: GIC/voter-file linkage.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e05")
+def test_e05_linkage_attack(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["reidentified_rate_raw_release"] >= 0.7

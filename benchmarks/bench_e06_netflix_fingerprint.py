@@ -1,0 +1,20 @@
+"""Benchmark E6 — Narayanan-Shmatikov: sparse-data fingerprinting.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e06")
+def test_e06_netflix_fingerprint(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["recall_with_8_known_ratings"] >= 0.8

@@ -1,0 +1,20 @@
+"""Benchmark E7 — Census 2010: table reconstruction + re-identification.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e07")
+def test_e07_census_reconstruction(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["exact_reconstruction_fraction"] >= 0.25

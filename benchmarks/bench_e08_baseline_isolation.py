@@ -1,0 +1,20 @@
+"""Benchmark E8 — Section 2.2: the ~37% trivial-attacker baseline.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_baseline_isolation(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["measured_isolation_at_w_1_over_n"] >= 0.25

@@ -1,0 +1,20 @@
+"""Benchmark E9 — Theorems 2.5/2.6: counts are PSO-secure.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e09")
+def test_e09_count_pso(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["count_mechanisms_worst_success"] <= 0.05

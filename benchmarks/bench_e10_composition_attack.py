@@ -1,0 +1,20 @@
+"""Benchmark E10 — Theorem 2.8: PSO security does not compose.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_composition_attack(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E10", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["min_success_across_sizes"] >= 0.3

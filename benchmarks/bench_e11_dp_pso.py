@@ -1,0 +1,20 @@
+"""Benchmark E11 — Theorems 1.3/2.9: DP prevents PSO.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_dp_pso(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E11", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["attack_success_dp_eps2"] <= 0.1

@@ -1,0 +1,20 @@
+"""Benchmark E12 — Theorem 2.10 + Cohen: k-anonymity fails PSO.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_kanon_pso(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E12", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["cohen_singleton_success"] >= 0.8

@@ -1,0 +1,20 @@
+"""Benchmark E13 — Section 1.1: k-anonymity is not closed under composition.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e13")
+def test_e13_intersection_attack(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E13", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["max_gain_over_single_release"] > 0.0

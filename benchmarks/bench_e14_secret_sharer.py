@@ -1,0 +1,20 @@
+"""Benchmark E14 — Carlini [11]: unintended memorization / secret sharer.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e14")
+def test_e14_secret_sharer(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E14", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["exposure_bits_4_insertions"] >= 10.0

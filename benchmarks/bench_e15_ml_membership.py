@@ -1,0 +1,20 @@
+"""Benchmark E15 — Shokri [40]: membership inference against ML models.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e15")
+def test_e15_ml_membership(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E15", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["auc_overfit"] >= 0.6

@@ -1,0 +1,20 @@
+"""Benchmark E16 — Homer [26]: membership inference on aggregate genomic data.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_genomic_membership(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E16", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["auc_wide_panel"] >= 0.95

@@ -1,0 +1,21 @@
+"""Benchmark E17 — BDK [10]: social-graph re-identification.
+
+Regenerates the experiment at benchmark scale and prints its
+paper-vs-measured tables; pytest-benchmark records the wall-clock cost of
+the full attack/defense pipeline.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.benchmark(group="e17")
+def test_e17_graph_deanonymization(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E17", seed=0, quick=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.headline["recovery_above_threshold"] >= 0.7
+    assert result.headline["passive_uniqueness"] >= 0.9

@@ -1,0 +1,60 @@
+"""The census narrative: published tables are a reconstruction oracle.
+
+Reproduces the paper's Section 1 account of the 2010 Decennial Census
+reconstruction on synthetic blocks:
+
+1. publish the block-level table system (sex-by-age, race-by-ethnicity,
+   sex-by-race);
+2. invert it block by block with an integer solver;
+3. re-identify reconstructed records against a commercial file;
+4. compare a legacy rounding defense against a differentially private
+   release of the same tables.
+
+Run:  python examples/census_reconstruction.py
+"""
+
+import numpy as np
+
+from repro.data.censusblocks import CensusConfig, commercial_database, generate_census
+from repro.dp import dp_tabulation
+from repro.reconstruction import reconstruct_census, reidentify, tabulate_blocks
+from repro.reconstruction.tabulation import apply_rounding
+from repro.utils.tables import Table
+
+census = generate_census(CensusConfig(blocks=48, mean_block_size=12), rng=0)
+commercial = commercial_database(census, coverage=0.6, age_error=1, rng=1)
+tables = tabulate_blocks(census)
+print(f"{len(census)} persons across {len(tables)} blocks; tables published.")
+
+
+def evaluate(published, label):
+    reconstruction = reconstruct_census(published, truth=census)
+    reid = reidentify(reconstruction, commercial, census, age_tolerance=1)
+    return [
+        label,
+        reconstruction.exact_match_fraction,
+        reid.putative_rate,
+        reid.reidentified_rate,
+        reid.precision,
+    ]
+
+
+report = Table(
+    ["tables", "exact reconstruction", "putative re-id", "confirmed re-id", "precision"],
+    title="Reconstruction-abetted re-identification (paper: 46% exact, 17% re-id)",
+)
+report.add_row(evaluate(tables, "as published"))
+report.add_row(evaluate(apply_rounding(tables, base=5), "rounded (base 5)"))
+
+for epsilon in (4.0, 1.0):
+    noisy = dp_tabulation(tables, epsilon, rng=np.random.default_rng(int(epsilon)))
+    report.add_row(evaluate(noisy, f"Laplace, eps={epsilon}/block"))
+
+print()
+print(report.render())
+print(
+    "\nThe shape matches the paper: exact small-area tables reconstruct a large\n"
+    "share of the population and re-identify a sizable fraction; rounding\n"
+    "barely helps; calibrated noise is what actually degrades the attack --\n"
+    "the reasoning behind the 2020 Census disclosure-avoidance redesign."
+)

@@ -1,0 +1,75 @@
+"""The modern-attacks narrative: models remember their training data.
+
+Walks the three Section-1 attacks against *derived artifacts* (rather than
+released records): Homer membership inference on published aggregates,
+Shokri-style membership inference on a trained classifier, and the
+Carlini secret-sharer extraction from a language model — each with its
+differential-privacy defense measured on the same axis.
+
+The through-line is the paper's: whether data is released as records,
+tables, models, or auto-completes, "anonymized" artifacts derived without
+a quantitative privacy guarantee leak membership and content.
+
+Run:  python examples/memorization_and_membership.py
+"""
+
+from repro.attacks import (
+    membership_experiment,
+    ml_membership_experiment,
+    secret_sharer_experiment,
+)
+from repro.data.genomes import GenomePanel, GenomePanelConfig
+from repro.ml import DpSgdConfig
+from repro.utils.tables import Table
+
+# --- 1. aggregates leak membership (Homer) -----------------------------------
+panel = GenomePanel.generate(GenomePanelConfig(snps=3_000), rng=0)
+homer = Table(
+    ["release", "attack AUC", "advantage"],
+    title="Membership from published allele frequencies (cohort 200)",
+)
+for noise, label in ((0.0, "exact aggregate"), (0.05, "noisy aggregate (scale 0.05)")):
+    result = membership_experiment(panel, cohort_size=200, noise_scale=noise, rng=1)
+    homer.add_row([label, result.auc, result.advantage])
+print(homer.render())
+
+# --- 2. models leak membership (Shokri / loss threshold) ---------------------
+ml = Table(
+    ["training", "attack AUC", "advantage", "generalization gap", "reported eps"],
+    title="\nMembership from a trained classifier (train size 50, 60 features)",
+)
+plain = ml_membership_experiment(train_size=50, rng=2)
+ml.add_row(["non-private", plain.auc, plain.advantage, plain.generalization_gap, "-"])
+defended = ml_membership_experiment(
+    train_size=50, dp=DpSgdConfig(noise_multiplier=80.0), rng=2
+)
+ml.add_row(
+    [
+        "DP-SGD (sigma=80)",
+        defended.auc,
+        defended.advantage,
+        defended.generalization_gap,
+        f"{defended.epsilon:.1f}",
+    ]
+)
+print(ml.render())
+
+# --- 3. language models leak content (Carlini secret sharer) -----------------
+extraction = Table(
+    ["training", "secret extracted?", "exposure (bits / max)"],
+    title='\nAuto-completing "my social security number is ..." (canary x8)',
+)
+for epsilon, label in ((None, "non-private"), (0.05, "DP counts (eps=0.05/count)")):
+    result = secret_sharer_experiment(
+        8, dp_epsilon_per_count=epsilon, rng=3
+    )
+    extraction.add_row(
+        [label, result.extracted, f"{result.exposure_bits:.1f} / {result.max_exposure_bits:.1f}"]
+    )
+print(extraction.render())
+
+print(
+    "\nSame story three times: the artifact looks aggregate, the individual is\n"
+    "in it anyway; and in each case the remedy with a measurable dial is\n"
+    "differential privacy -- the paper's Section 1.1 in miniature."
+)

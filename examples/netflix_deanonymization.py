@@ -1,0 +1,51 @@
+"""The Netflix narrative: sparse data fingerprints its subjects.
+
+Reproduces the paper's Section 1 account of the Narayanan-Shmatikov attack
+on synthetic ratings: a pseudonymized release plus a handful of noisy,
+IMDb-style observations re-identifies subscribers.
+
+Run:  python examples/netflix_deanonymization.py
+"""
+
+from repro.attacks import fingerprint_experiment
+from repro.data.ratings import RatingsConfig, generate_ratings
+from repro.utils.tables import Table
+
+config = RatingsConfig(users=2_000, movies=1_000, mean_ratings_per_user=25.0)
+data = generate_ratings(config, rng=0)
+print(
+    f"{config.users} subscribers, {config.movies} movies, "
+    f"{data.total_ratings()} ratings "
+    f"({data.total_ratings() / (config.users * config.movies):.2%} dense)."
+)
+
+table = Table(
+    ["known ratings", "date noise (+-days)", "recall", "precision"],
+    title="Scoreboard-RH de-anonymization of the pseudonymized release",
+)
+for known in (2, 3, 4, 6, 8):
+    result = fingerprint_experiment(
+        data, targets=100, known=known, star_error=1, day_error=14, rng=known
+    )
+    table.add_row([known, 14, result.recall, result.precision])
+print()
+print(table.render())
+
+print()
+robustness = Table(
+    ["known ratings", "date noise (+-days)", "recall", "precision"],
+    title="Robustness: worse auxiliary dates",
+)
+for day_error in (3, 14, 60):
+    result = fingerprint_experiment(
+        data, targets=100, known=4, star_error=1, day_error=day_error, rng=100 + day_error
+    )
+    robustness.add_row([4, day_error, result.recall, result.precision])
+print(robustness.render())
+
+print(
+    "\nAs in the paper: a few approximately-dated ratings suffice for exact\n"
+    "re-identification, because rare movies carry most of the identifying\n"
+    "weight -- the same quasi-identifier phenomenon as (ZIP, birth date, sex),\n"
+    "transplanted to a high-dimensional sparse domain."
+)

@@ -1,0 +1,45 @@
+"""The right to be forgotten, executable (paper's Discussion, citing [25]).
+
+A person's secret-bearing document is in a model's training set; the
+secret auto-completes (the Carlini attack).  The person requests deletion.
+For count-based models, deletion can be *exact*: we unlearn the document
+and verify — parameter by parameter — that the model now equals one never
+trained on it, then show the auto-complete is gone.  The verification is
+packaged as evidence the legal layer can consume, closing the loop the
+paper's Discussion sketches: hybrid legal-technical concepts with
+machine-checkable compliance.
+
+Run:  python examples/right_to_deletion.py
+"""
+
+from repro.attacks.extraction import extract_secret
+from repro.legal.deletion import deletion_certificate, verify_exact_deletion
+from repro.lm.ngram import NgramLanguageModel, synthetic_corpus
+
+PREFIX = "my social security number is "
+SECRET = "2718"
+
+corpus = synthetic_corpus(200, rng=0)
+corpus.append(PREFIX + SECRET)
+
+model = NgramLanguageModel(order=6).fit(corpus)
+completion = extract_secret(model, PREFIX, len(SECRET))
+print(f'before deletion: "{PREFIX}..." auto-completes to {completion!r} '
+      f"(secret {'LEAKED' if completion == SECRET else 'safe'})")
+
+# The data subject invokes the right to deletion.
+model.unfit(PREFIX + SECRET)
+completion = extract_secret(model, PREFIX, len(SECRET))
+print(f'after deletion:  "{PREFIX}..." auto-completes to {completion!r} '
+      f"(secret {'LEAKED' if completion == SECRET else 'forgotten'})")
+
+# Compliance verification: the unlearned model must equal a never-trained one.
+compliant = verify_exact_deletion(corpus, delete_index=len(corpus) - 1, order=6)
+print(f"\nexact-deletion verification (unlearn == retrain-without): {compliant}")
+
+certificate = deletion_certificate(corpus, delete_index=len(corpus) - 1, order=6)
+print(certificate)
+print(
+    "\nThe certificate is a TheoremCheck: the same falsifiable-evidence type\n"
+    "the legal layer requires for every derived conclusion."
+)

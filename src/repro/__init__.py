@@ -1,0 +1,92 @@
+"""repro — Privacy: From Database Reconstruction to Legal Theorems.
+
+A comprehensive reproduction of Kobbi Nissim's PODS 2021 keynote paper:
+every attack it surveys, the predicate-singling-out (PSO) framework it
+contributes, and the legal-theorem layer it derives — all executable and
+measured.
+
+The package is organized by subsystem (see DESIGN.md for the inventory);
+the most commonly used entry points are re-exported here:
+
+* the PSO game and its cast —
+  :class:`~repro.core.pso.PSOGame`,
+  :class:`~repro.core.mechanisms.KAnonymityMechanism`,
+  :class:`~repro.core.attackers.KAnonymityPSOAttacker`, ...
+* the executable theorem checks —
+  :func:`~repro.core.theorems.run_all_checks` and friends;
+* the legal layer —
+  :func:`~repro.legal.theorems.legal_theorem_2_1`,
+  :func:`~repro.legal.theorems.differential_privacy_assessment`;
+* the experiment harness —
+  :func:`~repro.experiments.run_experiment` (E1-E16).
+
+Quick tour::
+
+    from repro import PSOGame, KAnonymityMechanism, KAnonymityPSOAttacker
+    from repro.anonymity import AgreementAnonymizer
+    from repro.data.distributions import uniform_bits_distribution
+
+    game = PSOGame(uniform_bits_distribution(128), n=250,
+                   mechanism=KAnonymityMechanism(AgreementAnonymizer(4)),
+                   adversary=KAnonymityPSOAttacker("refine"))
+    print(game.run(trials=100, rng=0))
+"""
+
+from repro.core.attackers import (
+    CompositionAttacker,
+    CountExploitingAttacker,
+    IdentityAttacker,
+    KAnonymityPSOAttacker,
+    TrivialAttacker,
+    build_composition_suite,
+)
+from repro.core.mechanisms import (
+    ComposedMechanism,
+    ConstantMechanism,
+    CountMechanism,
+    DPCountMechanism,
+    IdentityMechanism,
+    KAnonymityMechanism,
+    Mechanism,
+    PostProcessedMechanism,
+)
+from repro.core.predicate import Predicate, attribute_predicate
+from repro.core.pso import PSOContext, PSOGame, PSOGameResult
+from repro.core.theorems import TheoremCheck, run_all_checks
+from repro.legal.theorems import (
+    differential_privacy_assessment,
+    legal_corollary_2_1,
+    legal_theorem_2_1,
+    working_party_comparison,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComposedMechanism",
+    "CompositionAttacker",
+    "ConstantMechanism",
+    "CountExploitingAttacker",
+    "CountMechanism",
+    "DPCountMechanism",
+    "IdentityAttacker",
+    "IdentityMechanism",
+    "KAnonymityMechanism",
+    "KAnonymityPSOAttacker",
+    "Mechanism",
+    "PSOContext",
+    "PSOGame",
+    "PSOGameResult",
+    "PostProcessedMechanism",
+    "Predicate",
+    "TheoremCheck",
+    "TrivialAttacker",
+    "__version__",
+    "attribute_predicate",
+    "build_composition_suite",
+    "differential_privacy_assessment",
+    "legal_corollary_2_1",
+    "legal_theorem_2_1",
+    "run_all_checks",
+    "working_party_comparison",
+]

@@ -1,0 +1,187 @@
+"""Incognito-style optimal full-domain generalization (LeFevre et al.).
+
+Datafly (:mod:`repro.anonymity.datafly`) greedily raises one attribute's
+generalization level at a time and may badly overshoot; *Incognito*
+searches the full lattice of per-attribute level vectors for the
+minimum-cost vector that achieves k-anonymity (optionally within a record
+suppression budget).  Two classical facts make the search tractable:
+
+* **generalization monotonicity** — if a level vector is k-anonymous, so is
+  every componentwise-higher vector, so the search can stop ascending once
+  a node satisfies the requirement;
+* **rollup** — equivalence-class counts at a node can be computed from the
+  raw data directly (we do exactly that; datasets here are small).
+
+The paper cites optimal k-anonymization as NP-hard in general [30];
+Incognito is exponential in the number of quasi-identifiers but linear in
+the data, which is the standard practical compromise.  Its appearance here
+also sharpens Theorem 2.10's premise: an anonymizer that provably maximizes
+information content produces the *tightest* classes — and hence the
+lowest-weight class predicates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Mapping, Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.generalized import GeneralizedDataset, GeneralizedRecord
+from repro.data.hierarchy import (
+    GeneralizationHierarchy,
+    GeneralizedValue,
+    default_hierarchy,
+)
+
+
+class IncognitoAnonymizer:
+    """Exhaustive-lattice full-domain k-anonymizer.
+
+    Args:
+        k: the anonymity parameter.
+        hierarchies: per-QI generalization hierarchies (defaults applied).
+        quasi_identifiers: names to generalize; defaults to the schema's.
+        max_suppression: record-suppression budget as a fraction.
+        cost: node-cost function, ``"height"`` (sum of levels — the classic
+            minimal-generalization objective) or ``"precision"`` (mean
+            normalized level, weighting deep hierarchies less).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        hierarchies: Mapping[str, GeneralizationHierarchy] | None = None,
+        quasi_identifiers: Sequence[str] | None = None,
+        max_suppression: float = 0.0,
+        cost: str = "height",
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if not 0.0 <= max_suppression < 1.0:
+            raise ValueError("max_suppression must lie in [0, 1)")
+        if cost not in ("height", "precision"):
+            raise ValueError(f"unknown cost function: {cost!r}")
+        self.k = int(k)
+        self.hierarchies = dict(hierarchies) if hierarchies else {}
+        self.quasi_identifiers = tuple(quasi_identifiers) if quasi_identifiers else None
+        self.max_suppression = float(max_suppression)
+        self.cost = cost
+
+    def anonymize(self, dataset: Dataset) -> GeneralizedDataset:
+        """Anonymize with the cheapest satisfying level vector.
+
+        The chosen vector is recorded in :attr:`last_levels`; raises when
+        even full suppression of every QI cannot satisfy ``k`` (only
+        possible when ``len(dataset) < k``).
+        """
+        if len(dataset) == 0:
+            return GeneralizedDataset(dataset.schema, [])
+        qi_names = list(self.quasi_identifiers or dataset.schema.quasi_identifiers)
+        if not qi_names:
+            raise ValueError(
+                "no quasi-identifiers: annotate the schema or pass them explicitly"
+            )
+        if len(dataset) < self.k:
+            raise ValueError(f"cannot {self.k}-anonymize {len(dataset)} records")
+
+        hierarchies = {
+            name: self.hierarchies.get(
+                name, default_hierarchy(dataset.schema.attribute(name).domain)
+            )
+            for name in qi_names
+        }
+        budget = int(self.max_suppression * len(dataset))
+
+        best_vector: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        level_ranges = [range(hierarchies[name].levels) for name in qi_names]
+        # Full sweep with a monotonicity shortcut: skip any vector that is
+        # componentwise >= an already-satisfying vector with worse cost.
+        satisfying: list[tuple[int, ...]] = []
+        for vector in product(*level_ranges):
+            if any(all(v >= s for v, s in zip(vector, known)) for known in satisfying):
+                continue  # dominated: satisfies k-anonymity but costs more
+            if self._satisfies(dataset, qi_names, hierarchies, vector, budget):
+                satisfying.append(vector)
+                vector_cost = self._cost(vector, qi_names, hierarchies)
+                if vector_cost < best_cost:
+                    best_cost = vector_cost
+                    best_vector = vector
+        if best_vector is None:
+            raise RuntimeError(
+                "no level vector satisfies the requirement within the "
+                "suppression budget"
+            )
+
+        self.last_levels = dict(zip(qi_names, best_vector))
+        return self._materialize(dataset, qi_names, hierarchies, best_vector)
+
+    # -- internals --------------------------------------------------------------
+
+    def _qi_keys(
+        self,
+        dataset: Dataset,
+        qi_names: Sequence[str],
+        hierarchies: Mapping[str, GeneralizationHierarchy],
+        vector: Sequence[int],
+    ) -> list[tuple[GeneralizedValue, ...]]:
+        return [
+            tuple(
+                hierarchies[name].generalize(record[name], level)
+                for name, level in zip(qi_names, vector)
+            )
+            for record in dataset
+        ]
+
+    def _satisfies(
+        self,
+        dataset: Dataset,
+        qi_names: Sequence[str],
+        hierarchies: Mapping[str, GeneralizationHierarchy],
+        vector: Sequence[int],
+        budget: int,
+    ) -> bool:
+        frequencies = Counter(self._qi_keys(dataset, qi_names, hierarchies, vector))
+        small = sum(count for count in frequencies.values() if count < self.k)
+        return small <= budget
+
+    def _cost(
+        self,
+        vector: Sequence[int],
+        qi_names: Sequence[str],
+        hierarchies: Mapping[str, GeneralizationHierarchy],
+    ) -> float:
+        if self.cost == "height":
+            return float(sum(vector))
+        return sum(
+            level / max(hierarchies[name].levels - 1, 1)
+            for name, level in zip(qi_names, vector)
+        ) / len(qi_names)
+
+    def _materialize(
+        self,
+        dataset: Dataset,
+        qi_names: Sequence[str],
+        hierarchies: Mapping[str, GeneralizationHierarchy],
+        vector: Sequence[int],
+    ) -> GeneralizedDataset:
+        keys = self._qi_keys(dataset, qi_names, hierarchies, vector)
+        frequencies = Counter(keys)
+        levels = dict(zip(qi_names, vector))
+        records = []
+        suppressed = 0
+        for row_index, record in enumerate(dataset):
+            if frequencies[keys[row_index]] < self.k:
+                suppressed += 1
+                continue
+            values = []
+            for name in dataset.schema.names:
+                if name in levels:
+                    values.append(
+                        hierarchies[name].generalize(record[name], levels[name])
+                    )
+                else:
+                    values.append(GeneralizedValue.raw(record[name]))
+            records.append(GeneralizedRecord(dataset.schema, values))
+        return GeneralizedDataset(dataset.schema, records, suppressed_count=suppressed)

@@ -1,0 +1,195 @@
+"""The Mondrian multidimensional k-anonymizer (LeFevre et al. style).
+
+Mondrian greedily partitions the data kd-tree-fashion: at each node it
+picks the quasi-identifier with the widest normalized span, cuts at the
+median, and recurses while both sides keep at least ``k`` records.  Each
+leaf partition becomes an equivalence class whose QI values are generalized
+to the partition's span (numeric attributes to ranges, categorical ones to
+the set of present values).
+
+This is exactly the kind of anonymizer Theorem 2.10 targets: it "tries to
+optimize on the information content of the k-anonymized dataset", so the
+resulting equivalence classes are as *tight* as k-anonymity allows — and
+tight classes mean low-weight predicates for the PSO attacker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.domain import CategoricalDomain, IntegerDomain
+from repro.data.generalized import GeneralizedDataset, GeneralizedRecord
+from repro.data.hierarchy import GeneralizedValue
+
+
+class MondrianAnonymizer:
+    """Greedy median-cut k-anonymizer.
+
+    Args:
+        k: the anonymity parameter (every output class has >= k records).
+        quasi_identifiers: attribute names to generalize; defaults to the
+            schema's annotated quasi-identifiers.
+        l_diversity: optional ``(l, sensitive_attribute)``: cuts are only
+            taken when both sides keep at least ``l`` distinct sensitive
+            values, so the release is distinct-l-diverse as well as
+            k-anonymous.  This is the variant footnote 3 of the paper says
+            the PSO analysis extends to — and the theorem checks confirm it
+            does.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        quasi_identifiers: Sequence[str] | None = None,
+        l_diversity: tuple[int, str] | None = None,
+    ):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if l_diversity is not None:
+            l_value, _sensitive = l_diversity
+            if l_value <= 0:
+                raise ValueError(f"l must be positive, got {l_value}")
+        self.k = int(k)
+        self.quasi_identifiers = tuple(quasi_identifiers) if quasi_identifiers else None
+        self.l_diversity = l_diversity
+
+    def anonymize(self, dataset: Dataset) -> GeneralizedDataset:
+        """Anonymize ``dataset``; output preserves row order, no suppression."""
+        if len(dataset) == 0:
+            return GeneralizedDataset(dataset.schema, [])
+        qi_names = self.quasi_identifiers or dataset.schema.quasi_identifiers
+        if not qi_names:
+            raise ValueError(
+                "no quasi-identifiers: annotate the schema or pass them explicitly"
+            )
+        if len(dataset) < self.k:
+            raise ValueError(
+                f"cannot {self.k}-anonymize {len(dataset)} records"
+            )
+        for name in qi_names:
+            if name not in dataset.schema:
+                raise KeyError(f"unknown quasi-identifier: {name!r}")
+        if self.l_diversity is not None:
+            l_value, sensitive = self.l_diversity
+            if sensitive not in dataset.schema:
+                raise KeyError(f"unknown sensitive attribute: {sensitive!r}")
+            root_distinct = len(set(dataset.column(sensitive)))
+            if root_distinct < l_value:
+                raise ValueError(
+                    f"the data has only {root_distinct} distinct {sensitive!r} "
+                    f"values; {l_value}-diversity is unattainable"
+                )
+
+        partitions = self._partition(dataset, list(range(len(dataset))), list(qi_names))
+
+        generalized_rows: list[GeneralizedRecord | None] = [None] * len(dataset)
+        for partition in partitions:
+            cell = self._summarize(dataset, partition, qi_names)
+            for row_index in partition:
+                record = dataset[row_index]
+                values = []
+                for name in dataset.schema.names:
+                    if name in cell:
+                        values.append(cell[name])
+                    else:
+                        values.append(GeneralizedValue.raw(record[name]))
+                generalized_rows[row_index] = GeneralizedRecord(dataset.schema, values)
+        assert all(row is not None for row in generalized_rows)
+        return GeneralizedDataset(dataset.schema, generalized_rows)  # type: ignore[arg-type]
+
+    # -- partitioning -------------------------------------------------------------
+
+    def _partition(
+        self, dataset: Dataset, rows: list[int], qi_names: list[str]
+    ) -> list[list[int]]:
+        """Recursively cut ``rows``; returns the leaf partitions."""
+        for name in self._attributes_by_span(dataset, rows, qi_names):
+            split = self._try_split(dataset, rows, name)
+            if split is not None:
+                left, right = split
+                return self._partition(dataset, left, qi_names) + self._partition(
+                    dataset, right, qi_names
+                )
+        return [rows]
+
+    def _attributes_by_span(
+        self, dataset: Dataset, rows: list[int], qi_names: list[str]
+    ) -> list[str]:
+        """QI names ordered by decreasing normalized span over ``rows``."""
+        spans = []
+        for name in qi_names:
+            values = [dataset[i][name] for i in rows]
+            domain = dataset.schema.attribute(name).domain
+            if isinstance(domain, IntegerDomain):
+                width = max(values) - min(values)  # type: ignore[type-var]
+                normalizer = max(domain.high - domain.low, 1)
+                span = width / normalizer
+            else:
+                span = len(set(values)) / max(len(domain), 1)
+            spans.append((span, name))
+        spans.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [name for _span, name in spans]
+
+    def _try_split(
+        self, dataset: Dataset, rows: list[int], name: str
+    ) -> tuple[list[int], list[int]] | None:
+        """Median-cut ``rows`` on ``name``; None when no allowable cut exists."""
+        domain = dataset.schema.attribute(name).domain
+        if isinstance(domain, CategoricalDomain):
+            order = {value: i for i, value in enumerate(domain.values)}
+            keyed = sorted(rows, key=lambda i: order[dataset[i][name]])
+        else:
+            keyed = sorted(rows, key=lambda i: dataset[i][name])  # type: ignore[arg-type]
+
+        values_in_order = [dataset[i][name] for i in keyed]
+        # Candidate cut positions are value boundaries (records with equal
+        # values must stay together); pick the boundary nearest the median.
+        boundaries = [
+            position
+            for position in range(1, len(keyed))
+            if values_in_order[position] != values_in_order[position - 1]
+        ]
+        if not boundaries:
+            return None
+        middle = len(keyed) / 2.0
+        boundaries.sort(key=lambda position: abs(position - middle))
+        for position in boundaries:
+            left, right = keyed[:position], keyed[position:]
+            if len(left) >= self.k and len(right) >= self.k and self._diverse_enough(
+                dataset, left
+            ) and self._diverse_enough(dataset, right):
+                return left, right
+        return None
+
+    def _diverse_enough(self, dataset: Dataset, rows: list[int]) -> bool:
+        """Whether ``rows`` keeps the configured l-diversity (True when off)."""
+        if self.l_diversity is None:
+            return True
+        l_value, sensitive = self.l_diversity
+        distinct = {dataset[i][sensitive] for i in rows}
+        return len(distinct) >= l_value
+
+    # -- cell summarization ----------------------------------------------------------
+
+    def _summarize(
+        self, dataset: Dataset, rows: list[int], qi_names: Sequence[str]
+    ) -> dict[str, GeneralizedValue]:
+        """Generalize each QI to the partition's span."""
+        cell = {}
+        for name in qi_names:
+            values = [dataset[i][name] for i in rows]
+            domain = dataset.schema.attribute(name).domain
+            distinct = set(values)
+            if len(distinct) == 1:
+                cell[name] = GeneralizedValue.raw(values[0])
+            elif isinstance(domain, IntegerDomain):
+                low, high = min(distinct), max(distinct)  # type: ignore[type-var]
+                cell[name] = GeneralizedValue(
+                    f"{low}-{high}", range(int(low), int(high) + 1)  # type: ignore[arg-type]
+                )
+            else:
+                ordered = [value for value in domain.values if value in distinct]
+                label = "{" + ",".join(str(value) for value in ordered) + "}"
+                cell[name] = GeneralizedValue(label, ordered)
+        return cell

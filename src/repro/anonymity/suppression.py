@@ -1,0 +1,49 @@
+"""Record-suppression baseline anonymizer.
+
+The crudest route to k-anonymity: keep quasi-identifiers raw and simply
+drop every record whose QI combination appears fewer than ``k`` times.
+Useless for sparse data (it deletes nearly everything — which the utility
+metrics make visible) but valuable as the baseline against which Mondrian
+and Datafly demonstrate why real anonymizers generalize instead.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.generalized import GeneralizedDataset, GeneralizedRecord
+
+
+def suppress_small_classes(
+    dataset: Dataset,
+    k: int,
+    quasi_identifiers: Sequence[str] | None = None,
+) -> GeneralizedDataset:
+    """Drop records whose raw QI combination has multiplicity < ``k``.
+
+    Returns a release whose surviving records are entirely raw (singleton
+    generalized values); the suppression count is recorded on the release.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    qi_names = tuple(quasi_identifiers or dataset.schema.quasi_identifiers)
+    if not qi_names:
+        raise ValueError(
+            "no quasi-identifiers: annotate the schema or pass them explicitly"
+        )
+    for name in qi_names:
+        if name not in dataset.schema:
+            raise KeyError(f"unknown quasi-identifier: {name!r}")
+
+    keys = [tuple(record[name] for name in qi_names) for record in dataset]
+    frequencies = Counter(keys)
+    records = []
+    suppressed = 0
+    for row_index, record in enumerate(dataset):
+        if frequencies[keys[row_index]] < k:
+            suppressed += 1
+            continue
+        records.append(GeneralizedRecord.from_raw(record))
+    return GeneralizedDataset(dataset.schema, records, suppressed_count=suppressed)

@@ -1,0 +1,148 @@
+"""The secret-sharer extraction attack (Carlini et al. [11]).
+
+The paper's Section 1: "inadvertent memorization of training data can lead
+to the revealing of secret personal information, such as the exposure of a
+person's Social Security Number as an auto-complete for the sentence 'my
+social-security number is ...'".
+
+The methodology of [11], reproduced on the n-gram substrate:
+
+* plant a **canary** — a secret-bearing sentence ``prefix + secret`` — in
+  the training corpus some number of times;
+* **extraction**: does greedy auto-completion of the prefix return the
+  secret?
+* **exposure**: ``log2(|candidates|) - log2(rank)`` where ``rank`` is the
+  secret's position when all same-format candidates are ordered by model
+  likelihood.  Exposure near ``log2(|candidates|)`` means the model has
+  fully memorized the secret; near 0 means it learned nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.lm.ngram import NgramLanguageModel, synthetic_corpus
+from repro.utils.rng import RngSeed, derive_rng, ensure_rng
+
+#: Default secret alphabet (digits, as in an SSN).
+DIGITS = "0123456789"
+
+
+def random_secret(length: int, rng: RngSeed = None, alphabet: str = DIGITS) -> str:
+    """A uniform random secret of the given length."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    generator = ensure_rng(rng)
+    return "".join(alphabet[int(i)] for i in generator.integers(0, len(alphabet), length))
+
+
+def extract_secret(
+    model: NgramLanguageModel, prefix: str, length: int, alphabet: str = DIGITS
+) -> str:
+    """Greedy auto-completion of the canary prefix (the attack itself)."""
+    return model.generate(prefix, length, restrict_to=alphabet, mode="greedy")
+
+
+def exposure(
+    model: NgramLanguageModel,
+    prefix: str,
+    secret: str,
+    alphabet: str = DIGITS,
+) -> float:
+    """Carlini exposure of ``secret`` given the canary ``prefix``.
+
+    Ranks the secret among **all** same-length candidates over ``alphabet``
+    by model log-likelihood (exact, not sampled — candidate spaces used in
+    the experiments are <= 10^4).  Returns
+    ``log2(#candidates) - log2(rank)``; ties rank pessimistically.
+    """
+    if not secret:
+        raise ValueError("secret must be non-empty")
+    bad = set(secret) - set(alphabet)
+    if bad:
+        raise ValueError(f"secret contains characters outside the alphabet: {bad!r}")
+    total = len(alphabet) ** len(secret)
+    if total > 200_000:
+        raise ValueError(
+            f"candidate space of size {total} is too large for exact exposure; "
+            "use a shorter secret"
+        )
+    secret_ll = model.log_likelihood(secret, context=prefix)
+    rank = 1
+    for candidate_chars in product(alphabet, repeat=len(secret)):
+        candidate = "".join(candidate_chars)
+        if candidate == secret:
+            continue
+        if model.log_likelihood(candidate, context=prefix) >= secret_ll:
+            rank += 1
+    return math.log2(total) - math.log2(rank)
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    """Outcome of one secret-sharer run.
+
+    Attributes:
+        insertions: how many times the canary appeared in training.
+        extracted: whether greedy completion returned the exact secret.
+        exposure_bits: the exposure metric (max = len(secret)*log2(|alphabet|)).
+        max_exposure_bits: the ceiling for this secret format.
+    """
+
+    insertions: int
+    extracted: bool
+    exposure_bits: float
+    max_exposure_bits: float
+
+    def __str__(self) -> str:
+        return (
+            f"ExtractionResult(insertions={self.insertions}, "
+            f"extracted={self.extracted}, "
+            f"exposure={self.exposure_bits:.1f}/{self.max_exposure_bits:.1f} bits)"
+        )
+
+
+def secret_sharer_experiment(
+    insertions: int,
+    secret_length: int = 4,
+    corpus_documents: int = 400,
+    prefix: str = "my social security number is ",
+    order: int = 6,
+    dp_epsilon_per_count: float | None = None,
+    rng: RngSeed = None,
+) -> ExtractionResult:
+    """One full secret-sharer run: plant, train, extract, score.
+
+    Args:
+        insertions: canary repetitions in training (0 = control: the model
+            never saw the secret and exposure must be ~0).
+        secret_length: digits in the secret (candidate space 10^length).
+        corpus_documents: size of the filler corpus.
+        prefix: the canary prefix (the attacker's known auto-complete bait).
+        order: n-gram order of the model.
+        dp_epsilon_per_count: train with noisy counts (the defense knob).
+        rng: randomness (secret choice, corpus, DP noise).
+    """
+    if insertions < 0:
+        raise ValueError("insertions must be non-negative")
+    corpus_rng = derive_rng(rng, "corpus") if not hasattr(rng, "integers") else rng
+    generator = ensure_rng(rng)
+    secret = random_secret(secret_length, generator)
+    canary = prefix + secret
+    corpus = synthetic_corpus(corpus_documents, rng=corpus_rng)
+    corpus.extend([canary] * insertions)
+
+    model = NgramLanguageModel(order=order)
+    model.fit(corpus, dp_epsilon_per_count=dp_epsilon_per_count, rng=generator)
+
+    guessed = extract_secret(model, prefix, secret_length)
+    bits = exposure(model, prefix, secret)
+    return ExtractionResult(
+        insertions=insertions,
+        extracted=guessed == secret,
+        exposure_bits=bits,
+        max_exposure_bits=secret_length * math.log2(len(DIGITS)),
+    )

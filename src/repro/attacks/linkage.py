@@ -1,0 +1,123 @@
+"""The Sweeney linkage (re-identification) attack.
+
+The scenario of the paper's Section 1: a "de-identified" release (direct
+identifiers redacted, quasi-identifiers intact) is joined against a public
+*identified* dataset — the Cambridge voter registration — on the
+quasi-identifiers.  Release records whose QI combination matches exactly
+one identified row are re-identified: the attacker attaches a name to the
+sensitive attribute.
+
+The attack here is deliberately the simplest exact-join version Sweeney
+used; its success is driven entirely by QI uniqueness
+(:mod:`repro.attacks.uniqueness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class LinkageResult:
+    """Outcome of a linkage attack.
+
+    Attributes:
+        attempted: release records with exactly one identified match
+            (putative re-identifications).
+        confirmed: attempted matches whose claimed identity is correct.
+        ambiguous: release records with two or more identified matches.
+        unmatched: release records with no identified match.
+        population: number of release records (the denominator).
+    """
+
+    attempted: int
+    confirmed: int
+    ambiguous: int
+    unmatched: int
+    population: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of claimed re-identifications that are correct."""
+        if self.attempted == 0:
+            return 0.0
+        return self.confirmed / self.attempted
+
+    @property
+    def reidentified_rate(self) -> float:
+        """Correct re-identifications over the whole release."""
+        if self.population == 0:
+            raise ValueError("population must be positive")
+        return self.confirmed / self.population
+
+    def __str__(self) -> str:
+        return (
+            f"LinkageResult: {self.confirmed}/{self.population} re-identified "
+            f"({self.reidentified_rate:.1%}), precision {self.precision:.1%}, "
+            f"{self.ambiguous} ambiguous, {self.unmatched} unmatched"
+        )
+
+
+def linkage_attack(
+    release: Dataset,
+    identified: Dataset,
+    quasi_identifiers: Sequence[str],
+    truth: Dataset,
+    identifier: str = "name",
+) -> LinkageResult:
+    """Join ``release`` to ``identified`` on the quasi-identifiers.
+
+    Args:
+        release: the de-identified data (no ``identifier`` column).
+        identified: the public identified data (has ``identifier`` plus the
+            quasi-identifiers) — e.g. a voter file.
+        quasi_identifiers: the join key.
+        truth: the original dataset the release was derived from, **in the
+            same row order as the release** (used only to score claims).
+        identifier: the identity column of ``identified`` and ``truth``.
+
+    Returns:
+        Counts of attempted/confirmed/ambiguous/unmatched links.
+    """
+    names = list(quasi_identifiers)
+    for name in names:
+        if name not in release.schema:
+            raise KeyError(f"release is missing quasi-identifier {name!r}")
+        if name not in identified.schema:
+            raise KeyError(f"identified data is missing quasi-identifier {name!r}")
+    if identifier in release.schema:
+        raise ValueError(
+            f"release still contains the identifier column {identifier!r}; "
+            "this attack models a de-identified release"
+        )
+    if len(release) != len(truth):
+        raise ValueError("truth must align row-by-row with the release")
+
+    # Index the identified data by QI combination.
+    index: dict[tuple, list[object]] = {}
+    for row in identified:
+        key = tuple(row[name] for name in names)
+        index.setdefault(key, []).append(row[identifier])
+
+    attempted = confirmed = ambiguous = unmatched = 0
+    for position, record in enumerate(release):
+        key = tuple(record[name] for name in names)
+        matches = index.get(key, [])
+        if len(matches) == 0:
+            unmatched += 1
+        elif len(matches) > 1:
+            ambiguous += 1
+        else:
+            attempted += 1
+            if matches[0] == truth[position][identifier]:
+                confirmed += 1
+    return LinkageResult(
+        attempted=attempted,
+        confirmed=confirmed,
+        ambiguous=ambiguous,
+        unmatched=unmatched,
+        population=len(release),
+    )

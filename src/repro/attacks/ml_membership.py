@@ -1,0 +1,112 @@
+"""Membership inference against machine-learning models (Shokri et al. [40]).
+
+The paper's Section 1: membership attacks against ML models "allow to
+infer whether a person's data was included in the training set".  We use
+the loss-threshold instantiation (Yeom et al.'s simplification of [40],
+standard in the evaluation literature): training members tend to have
+lower loss than non-members on an overfit model, so thresholding the
+per-example loss — or ranking by it — separates in from out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.logistic import DpSgdConfig, LogisticRegressionModel, gaussian_task
+from repro.utils.rng import RngSeed, derive_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class MlMembershipResult:
+    """Outcome of a loss-threshold membership experiment.
+
+    Attributes:
+        auc: ROC AUC of (negated) loss as a membership score.
+        advantage: TPR - FPR of the mean-loss-threshold test (Yeom's
+            membership advantage).
+        train_accuracy / test_accuracy: the generalization gap that powers
+            the attack.
+        epsilon: the model's DP report, or None for non-private training.
+    """
+
+    auc: float
+    advantage: float
+    train_accuracy: float
+    test_accuracy: float
+    epsilon: float | None
+
+    @property
+    def generalization_gap(self) -> float:
+        """train accuracy minus test accuracy."""
+        return self.train_accuracy - self.test_accuracy
+
+    def __str__(self) -> str:
+        eps = "none" if self.epsilon is None else f"{self.epsilon:.2f}"
+        return (
+            f"MlMembershipResult(AUC {self.auc:.3f}, advantage "
+            f"{self.advantage:.2f}, gap {self.generalization_gap:.2f}, eps {eps})"
+        )
+
+
+def loss_threshold_attack(
+    model: LogisticRegressionModel,
+    member_features: np.ndarray,
+    member_labels: np.ndarray,
+    outsider_features: np.ndarray,
+    outsider_labels: np.ndarray,
+) -> tuple[float, float]:
+    """Score the attack: returns (auc, advantage).
+
+    AUC ranks members vs outsiders by negated loss; the advantage uses the
+    classic threshold "loss below the pooled mean loss -> member".
+    """
+    member_losses = model.per_example_loss(member_features, member_labels)
+    outsider_losses = model.per_example_loss(outsider_features, outsider_labels)
+    auc = _auc(-member_losses, -outsider_losses)
+    threshold = float(np.concatenate([member_losses, outsider_losses]).mean())
+    tpr = float((member_losses < threshold).mean())
+    fpr = float((outsider_losses < threshold).mean())
+    return auc, tpr - fpr
+
+
+def ml_membership_experiment(
+    train_size: int = 50,
+    dimensions: int = 60,
+    test_size: int = 500,
+    dp: DpSgdConfig | None = None,
+    rng: RngSeed = None,
+) -> MlMembershipResult:
+    """Train a (possibly DP) model and attack its training set.
+
+    Small ``train_size`` with large ``dimensions`` makes the model overfit
+    — the regime in which [40] demonstrated membership leakage.
+    """
+    data_rng = derive_rng(rng, "data") if not hasattr(rng, "normal") else rng
+    generator = ensure_rng(rng)
+    features, labels = gaussian_task(
+        train_size + test_size, dimensions=dimensions, rng=data_rng
+    )
+    train_x, test_x = features[:train_size], features[train_size:]
+    train_y, test_y = labels[:train_size], labels[train_size:]
+
+    model = LogisticRegressionModel(l2=1e-4, learning_rate=0.8, epochs=300)
+    model.fit(train_x, train_y, dp=dp, rng=generator)
+
+    auc, advantage = loss_threshold_attack(model, train_x, train_y, test_x, test_y)
+    return MlMembershipResult(
+        auc=auc,
+        advantage=advantage,
+        train_accuracy=model.accuracy(train_x, train_y),
+        test_accuracy=model.accuracy(test_x, test_y),
+        epsilon=model.epsilon_report(),
+    )
+
+
+def _auc(positives: np.ndarray, negatives: np.ndarray) -> float:
+    """Mann-Whitney AUC with tie credit."""
+    wins = 0.0
+    for p in positives:
+        wins += float((p > negatives).sum()) + 0.5 * float((p == negatives).sum())
+    return wins / (len(positives) * len(negatives))

@@ -1,0 +1,49 @@
+"""Isolation — Definition 2.1 — and the trivial-attacker arithmetic.
+
+A predicate *isolates* in ``x = (x_1, ..., x_n)`` when it evaluates to 1 on
+exactly one record.  Note the definition acts on record *values*: a
+predicate cannot refer to a record's position ("the first record"), and two
+identical records can never be isolated by any predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import Dataset, Record
+from repro.utils.negligible import (
+    baseline_isolation_probability,
+    isolation_probability,
+    optimal_isolation_weight,
+)
+
+__all__ = [
+    "baseline_isolation_probability",
+    "isolates",
+    "isolation_probability",
+    "matching_count",
+    "matching_indices",
+    "optimal_isolation_weight",
+]
+
+
+def matching_count(predicate: Callable[[Record], bool], dataset: Dataset) -> int:
+    """``sum_i p(x_i)`` — how many records the predicate matches."""
+    return dataset.count(predicate)
+
+
+def matching_indices(predicate: Callable[[Record], bool], dataset: Dataset) -> list[int]:
+    """Indices of the matched records (diagnostic; attacks never see these)."""
+    return [i for i in range(len(dataset)) if predicate(dataset[i])]
+
+
+def isolates(predicate: Callable[[Record], bool], dataset: Dataset) -> bool:
+    """Definition 2.1: ``p`` isolates in ``x`` iff ``sum_i p(x_i) = 1``."""
+    # Short-circuit at 2 matches: no need to scan the whole dataset.
+    matches = 0
+    for record in dataset:
+        if predicate(record):
+            matches += 1
+            if matches > 1:
+                return False
+    return matches == 1

@@ -1,0 +1,157 @@
+"""Block-level census microdata — stand-in for the 2010 Decennial Census.
+
+The paper reports that reconstruction of the 2010 Census tables recovered
+exact (sex, race, ethnicity, block, age +-1) records for 71% of the US
+population, and that linking with commercial databases re-identified 17% —
+against a prior Bureau estimate of 0.003%.
+
+We cannot use the real data, but the attack depends only on the *constraint
+structure* of the published tables: each census block is small, and the
+Bureau publishes several overlapping marginal tables per block, which
+together often pin down the block's microdata almost uniquely.  This module
+generates block-level person records; :mod:`repro.reconstruction.tabulation`
+publishes the tables; :mod:`repro.reconstruction.census_solver` inverts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset
+from repro.data.domain import CategoricalDomain, IntegerDomain
+from repro.data.schema import Attribute, AttributeKind, Schema
+from repro.utils.rng import RngSeed, ensure_rng
+
+#: Race categories (collapsed to four to keep per-block solves fast).
+RACES: tuple[str, ...] = ("White", "Black", "Asian", "Other")
+
+#: Hispanic-origin ethnicity flag, as in the PL 94-171 tables.
+ETHNICITIES: tuple[str, ...] = ("Hispanic", "NonHispanic")
+
+#: Sexes, as tabulated.
+SEXES: tuple[str, ...] = ("F", "M")
+
+
+@dataclass(frozen=True)
+class CensusConfig:
+    """Parameters of the synthetic census geography.
+
+    Attributes:
+        blocks: number of census blocks.
+        mean_block_size: mean persons per block (geometric-ish; real census
+            blocks are small — tens of people — which is what makes
+            reconstruction so effective).
+        max_block_size: hard cap on block population.
+        age_range: inclusive (low, high) ages.
+    """
+
+    blocks: int = 24
+    mean_block_size: int = 12
+    max_block_size: int = 40
+    age_range: tuple[int, int] = (0, 89)
+
+    def __post_init__(self) -> None:
+        if self.blocks <= 0:
+            raise ValueError("need at least one block")
+        if not 1 <= self.mean_block_size <= self.max_block_size:
+            raise ValueError("mean_block_size must lie in [1, max_block_size]")
+        low, high = self.age_range
+        if not 0 <= low <= high:
+            raise ValueError("age_range must satisfy 0 <= low <= high")
+
+
+def census_schema(config: CensusConfig = CensusConfig()) -> Schema:
+    """Schema of the synthetic census person records.
+
+    ``person_id`` is ground truth for scoring (never published).  ``block``
+    is the geography; (sex, age, race, ethnicity) are the attributes the
+    2010 reconstruction recovered.
+    """
+    low, high = config.age_range
+    return Schema(
+        [
+            Attribute(
+                "person_id",
+                CategoricalDomain(range(config.blocks * config.max_block_size)),
+                AttributeKind.IDENTIFIER,
+            ),
+            Attribute(
+                "block",
+                CategoricalDomain(range(config.blocks)),
+                AttributeKind.QUASI_IDENTIFIER,
+            ),
+            Attribute("sex", CategoricalDomain(SEXES), AttributeKind.QUASI_IDENTIFIER),
+            Attribute("age", IntegerDomain(low, high), AttributeKind.QUASI_IDENTIFIER),
+            Attribute("race", CategoricalDomain(RACES), AttributeKind.SENSITIVE),
+            Attribute(
+                "ethnicity", CategoricalDomain(ETHNICITIES), AttributeKind.SENSITIVE
+            ),
+        ]
+    )
+
+
+def generate_census(config: CensusConfig = CensusConfig(), rng: RngSeed = None) -> Dataset:
+    """Sample the synthetic census microdata.
+
+    Block sizes are geometric with the configured mean (clipped to
+    ``[1, max_block_size]``); ages follow a flattened pyramid; race and
+    ethnicity marginals are fixed to plausible shares.  Attributes are
+    sampled independently within a block.
+    """
+    generator = ensure_rng(rng)
+    schema = census_schema(config)
+    low, high = config.age_range
+    ages = list(range(low, high + 1))
+    # A gently decreasing age profile: younger cohorts slightly larger.
+    age_weights = [1.0 - 0.5 * (a - low) / max(1, high - low) for a in ages]
+    total = sum(age_weights)
+    age_probs = [w / total for w in age_weights]
+    race_probs = [0.62, 0.14, 0.08, 0.16]
+    ethnicity_probs = [0.18, 0.82]
+
+    rows: list[tuple] = []
+    person_id = 0
+    for block in range(config.blocks):
+        size = int(generator.geometric(1.0 / config.mean_block_size))
+        size = max(1, min(size, config.max_block_size))
+        for _ in range(size):
+            sex = SEXES[int(generator.integers(0, 2))]
+            age = int(generator.choice(ages, p=age_probs))
+            race = str(generator.choice(RACES, p=race_probs))
+            ethnicity = str(generator.choice(ETHNICITIES, p=ethnicity_probs))
+            rows.append((person_id, block, sex, age, race, ethnicity))
+            person_id += 1
+    return Dataset(schema, rows, validate=False)
+
+
+def commercial_database(
+    census: Dataset,
+    coverage: float = 0.6,
+    age_error: int = 1,
+    rng: RngSeed = None,
+) -> Dataset:
+    """A synthetic commercial/marketing file used for re-identification.
+
+    Covers a random ``coverage`` fraction of the population with (person_id,
+    block, sex, age) where age carries up to ``age_error`` years of error —
+    the paper's "commercial databases that were available in 2010".  Race
+    and ethnicity are *absent*: learning them is what makes the linkage a
+    disclosure.
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ValueError(f"coverage must lie in (0, 1], got {coverage}")
+    generator = ensure_rng(rng)
+    projected = census.project(["person_id", "block", "sex", "age"])
+    count = max(1, round(coverage * len(projected)))
+    chosen = sorted(generator.choice(len(projected), size=count, replace=False))
+    age_index = projected.schema.index_of("age")
+    age_domain = projected.schema.attribute("age").domain
+    rows = []
+    for i in chosen:
+        row = list(projected.rows[i])
+        noise = int(generator.integers(-age_error, age_error + 1))
+        row[age_index] = int(
+            min(max(row[age_index] + noise, age_domain.low), age_domain.high)  # type: ignore[attr-defined]
+        )
+        rows.append(tuple(row))
+    return Dataset(projected.schema, rows, validate=False)

@@ -1,0 +1,93 @@
+"""Synthetic SNP allele panels — stand-in for the Homer et al. genomic data.
+
+Homer et al. (paper, Section 1) showed that publishing *aggregate* allele
+frequencies of a case group (a GWAS "mixture") lets an adversary who has a
+target's genotype decide whether the target was in the case group.  The test
+compares, SNP by SNP, whether the target's alleles sit closer to the case
+frequencies or to the reference-population frequencies.
+
+The attack needs only the statistical structure this generator reproduces:
+many independent biallelic SNPs with population frequencies drawn from a
+roughly uniform spectrum, and individuals sampled as Binomial(2, f) minor
+allele counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+@dataclass(frozen=True)
+class GenomePanelConfig:
+    """Parameters of the synthetic SNP panel.
+
+    Attributes:
+        snps: number of biallelic SNPs (independent by construction).
+        frequency_range: minor-allele population frequencies are uniform in
+            this open interval (extremes excluded so every SNP is
+            informative).
+    """
+
+    snps: int = 5_000
+    frequency_range: tuple[float, float] = (0.05, 0.5)
+
+    def __post_init__(self) -> None:
+        low, high = self.frequency_range
+        if not 0.0 < low < high < 1.0:
+            raise ValueError("frequency_range must satisfy 0 < low < high < 1")
+        if self.snps <= 0:
+            raise ValueError("need at least one SNP")
+
+
+class GenomePanel:
+    """Population allele frequencies plus a genotype sampler."""
+
+    def __init__(self, frequencies: np.ndarray):
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("frequencies must be a non-empty 1-D array")
+        if np.any((frequencies <= 0) | (frequencies >= 1)):
+            raise ValueError("population frequencies must lie strictly in (0, 1)")
+        self.frequencies = frequencies
+
+    @property
+    def snps(self) -> int:
+        """Number of SNPs in the panel."""
+        return int(self.frequencies.size)
+
+    @classmethod
+    def generate(
+        cls, config: GenomePanelConfig = GenomePanelConfig(), rng: RngSeed = None
+    ) -> "GenomePanel":
+        """Draw population minor-allele frequencies for a fresh panel."""
+        generator = ensure_rng(rng)
+        low, high = config.frequency_range
+        return cls(generator.uniform(low, high, size=config.snps))
+
+    def sample_genotypes(self, count: int, rng: RngSeed = None) -> np.ndarray:
+        """Sample ``count`` individuals as minor-allele counts in {0, 1, 2}.
+
+        Returns an array of shape ``(count, snps)``; each entry is
+        Binomial(2, f_j) under Hardy-Weinberg equilibrium.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        generator = ensure_rng(rng)
+        return generator.binomial(2, self.frequencies, size=(count, self.snps))
+
+    def aggregate_frequencies(self, genotypes: np.ndarray) -> np.ndarray:
+        """The published statistic: per-SNP mean allele frequency of a cohort.
+
+        This is the "aggregate genomic data" of the paper — a single vector
+        of SNP frequencies for, e.g., the case group of a study.
+        """
+        genotypes = np.asarray(genotypes)
+        if genotypes.ndim != 2 or genotypes.shape[1] != self.snps:
+            raise ValueError(f"genotypes must have shape (m, {self.snps})")
+        if genotypes.shape[0] == 0:
+            raise ValueError("cohort must be non-empty")
+        return genotypes.mean(axis=0) / 2.0

@@ -1,0 +1,37 @@
+"""Differential privacy substrate.
+
+Implements Definition 1.2 (epsilon-DP) and the mechanisms the paper's
+analysis relies on, plus the two properties Section 1.1 highlights —
+post-processing immunity and composition — as an accountant, and an
+*empirical verifier* so Theorem 1.3 ("the Laplace mechanism is
+epsilon-differentially private") is checked by measurement rather than
+assumed.
+"""
+
+from repro.dp.composition import PrivacyAccountant, advanced_composition, basic_composition
+from repro.dp.exponential import ExponentialMechanism
+from repro.dp.gaussian import GaussianMechanism
+from repro.dp.laplace import GeometricMechanism, LaplaceMechanism, private_count
+from repro.dp.randomized_response import RandomizedResponse
+from repro.dp.sparse_vector import AboveThreshold, SparseVectorOutcome, sparse_count_queries
+from repro.dp.tabular import dp_block_tables, dp_tabulation
+from repro.dp.verify import DPVerdict, verify_dp
+
+__all__ = [
+    "AboveThreshold",
+    "DPVerdict",
+    "ExponentialMechanism",
+    "GaussianMechanism",
+    "GeometricMechanism",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "RandomizedResponse",
+    "SparseVectorOutcome",
+    "advanced_composition",
+    "basic_composition",
+    "dp_block_tables",
+    "dp_tabulation",
+    "private_count",
+    "sparse_count_queries",
+    "verify_dp",
+]

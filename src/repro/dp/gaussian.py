@@ -1,0 +1,54 @@
+"""The Gaussian mechanism for (epsilon, delta)-differential privacy.
+
+Included because the paper's discussion of DP as an emerging standard
+covers approximate DP deployments (the 2020 Census uses discrete Gaussian
+noise).  The classical calibration ``sigma = sensitivity *
+sqrt(2 ln(1.25/delta)) / epsilon`` gives (epsilon, delta)-DP for
+``epsilon <= 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+class GaussianMechanism:
+    """Additive Gaussian noise calibrated for (epsilon, delta)-DP."""
+
+    def __init__(self, epsilon: float, delta: float, sensitivity: float = 1.0):
+        if not 0 < epsilon <= 1:
+            raise ValueError(
+                f"the classical Gaussian calibration requires 0 < epsilon <= 1, got {epsilon}"
+            )
+        if not 0 < delta < 1:
+            raise ValueError(f"delta must lie in (0, 1), got {delta}")
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.sensitivity = float(sensitivity)
+
+    @property
+    def sigma(self) -> float:
+        """The calibrated noise standard deviation."""
+        return self.sensitivity * np.sqrt(2.0 * np.log(1.25 / self.delta)) / self.epsilon
+
+    def release(self, true_value: float, rng: RngSeed = None) -> float:
+        """One noisy release of ``true_value``."""
+        generator = ensure_rng(rng)
+        return float(true_value + generator.normal(0.0, self.sigma))
+
+    def release_many(self, true_value: float, count: int, rng: RngSeed = None) -> np.ndarray:
+        """``count`` independent releases (each spends the budget)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        generator = ensure_rng(rng)
+        return true_value + generator.normal(0.0, self.sigma, size=count)
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianMechanism(epsilon={self.epsilon}, delta={self.delta}, "
+            f"sensitivity={self.sensitivity})"
+        )

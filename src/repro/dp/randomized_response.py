@@ -1,0 +1,64 @@
+"""Randomized response — the oldest differentially private mechanism.
+
+Each respondent reports their true bit with probability
+``e^eps / (1 + e^eps)`` and the flipped bit otherwise.  The *local* model:
+even the data collector never sees true values, so the released vector of
+responses is epsilon-DP per record.  Included both as a substrate mechanism
+and as the canonical example of a per-record (rather than aggregate)
+release for the PSO experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+class RandomizedResponse:
+    """Binary randomized response with privacy parameter epsilon."""
+
+    def __init__(self, epsilon: float):
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    @property
+    def truth_probability(self) -> float:
+        """Probability of reporting the true bit: e^eps / (1 + e^eps)."""
+        return float(np.exp(self.epsilon) / (1.0 + np.exp(self.epsilon)))
+
+    def release(self, bits: np.ndarray, rng: RngSeed = None) -> np.ndarray:
+        """Perturb a 0/1 vector record-by-record."""
+        bits = np.asarray(bits)
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("randomized response operates on 0/1 data")
+        generator = ensure_rng(rng)
+        keep = generator.random(bits.shape) < self.truth_probability
+        return np.where(keep, bits, 1 - bits).astype(np.int64)
+
+    def estimate_count(self, responses: np.ndarray) -> float:
+        """Debias the sum of responses into an unbiased count estimate.
+
+        With truth probability ``p``, ``E[sum responses] = p * k +
+        (1 - p) * (n - k)`` for true count ``k``; inverting gives the
+        standard estimator.
+        """
+        responses = np.asarray(responses)
+        if not np.isin(responses, (0, 1)).all():
+            raise ValueError("responses must be 0/1")
+        n = responses.size
+        p = self.truth_probability
+        if n == 0:
+            raise ValueError("need at least one response")
+        return float((responses.sum() - (1.0 - p) * n) / (2.0 * p - 1.0))
+
+    def estimator_standard_error(self, n: int) -> float:
+        """Standard error of :meth:`estimate_count` at worst-case data."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        p = self.truth_probability
+        return float(np.sqrt(n * p * (1.0 - p)) / abs(2.0 * p - 1.0))
+
+    def __repr__(self) -> str:
+        return f"RandomizedResponse(epsilon={self.epsilon})"

@@ -1,0 +1,107 @@
+"""The sparse vector technique (AboveThreshold).
+
+The canonical answer to the Fundamental Law's "too many questions" horn:
+instead of paying for every query, AboveThreshold privately reports *which*
+of a long adaptive query stream first exceeds a threshold, paying only for
+the (noisy) threshold comparison and the single positive report.  Included
+as substrate completeness for the DP layer — it is the standard building
+block for answering large workloads under a budget that the reconstruction
+experiments show bounded-noise mechanisms cannot survive.
+
+Implementation follows Dwork-Roth (Algorithm 1, AboveThreshold): the
+threshold is perturbed once with Lap(2/eps), each query answer with
+Lap(4/eps); the mechanism halts at the first reported positive and is
+eps-DP for sensitivity-1 queries regardless of the stream length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+@dataclass(frozen=True)
+class SparseVectorOutcome:
+    """What AboveThreshold reported.
+
+    Attributes:
+        index: position of the first above-threshold query, or None if the
+            stream ended below threshold everywhere.
+        queries_processed: how many queries were consumed.
+    """
+
+    index: int | None
+    queries_processed: int
+
+    @property
+    def halted(self) -> bool:
+        """Whether a positive was reported."""
+        return self.index is not None
+
+
+class AboveThreshold:
+    """One-shot sparse vector: report the first query exceeding ``threshold``.
+
+    Args:
+        epsilon: the total privacy budget of the run.
+        threshold: the (public) comparison threshold.
+        sensitivity: per-query global sensitivity (counts: 1).
+    """
+
+    def __init__(self, epsilon: float, threshold: float, sensitivity: float = 1.0):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        self.epsilon = float(epsilon)
+        self.threshold = float(threshold)
+        self.sensitivity = float(sensitivity)
+
+    def run(
+        self,
+        answers: Iterable[float],
+        rng: RngSeed = None,
+        max_queries: int | None = None,
+    ) -> SparseVectorOutcome:
+        """Consume true query answers; stop at the first noisy positive.
+
+        ``answers`` may be any iterable (including a generator of adaptive
+        queries); ``max_queries`` caps consumption for unbounded streams.
+        """
+        generator = ensure_rng(rng)
+        noisy_threshold = self.threshold + generator.laplace(
+            0.0, 2.0 * self.sensitivity / self.epsilon
+        )
+        processed = 0
+        for index, answer in enumerate(answers):
+            if max_queries is not None and index >= max_queries:
+                break
+            processed += 1
+            noisy_answer = answer + generator.laplace(
+                0.0, 4.0 * self.sensitivity / self.epsilon
+            )
+            if noisy_answer >= noisy_threshold:
+                return SparseVectorOutcome(index=index, queries_processed=processed)
+        return SparseVectorOutcome(index=None, queries_processed=processed)
+
+
+def sparse_count_queries(
+    dataset,
+    predicates: Iterable[Callable],
+    epsilon: float,
+    threshold: float,
+    rng: RngSeed = None,
+) -> SparseVectorOutcome:
+    """AboveThreshold over counting queries on a Dataset.
+
+    Convenience wrapper: streams ``dataset.count(p)`` for each predicate
+    into :class:`AboveThreshold`.
+    """
+
+    def answers() -> Iterator[float]:
+        for predicate in predicates:
+            yield float(dataset.count(predicate))
+
+    return AboveThreshold(epsilon, threshold).run(answers(), rng=rng)

@@ -1,0 +1,61 @@
+"""Command-line entry point: run the experiment suite and print reports.
+
+Usage::
+
+    python -m repro.experiments            # all experiments, default scale
+    python -m repro.experiments --quick    # reduced scale
+    python -m repro.experiments E4 E12     # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's numeric claims (E1-E12).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced workload")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a markdown report to PATH instead of printing",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    if args.report:
+        from repro.experiments.report import write_report
+
+        output = write_report(args.report, ids, seed=args.seed, quick=args.quick)
+        print(f"report written to {output}")
+        return 0
+
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, seed=args.seed, quick=args.quick)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

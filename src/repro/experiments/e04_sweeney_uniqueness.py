@@ -1,0 +1,58 @@
+"""E4 — Sweeney's uniqueness of simple demographics.
+
+"The seemingly innocuous combination of ZIP code, birth date, and sex ...
+is unique for a vast majority of the US population."  We measure the
+uniqueness of escalating quasi-identifier combinations on the synthetic
+population, reproducing the cliff between coarse attributes (nobody unique)
+and the full triple (almost everyone unique).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.uniqueness import k_anonymity_level, uniqueness_profile
+from repro.data.population import PopulationConfig, generate_population
+from repro.experiments.runner import ExperimentResult, register
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+#: The escalating QI combinations reported.
+QI_LADDER: tuple[tuple[str, ...], ...] = (
+    ("sex",),
+    ("birth_year", "sex"),
+    ("birth_year", "birth_doy", "sex"),
+    ("zip", "birth_year", "sex"),
+    ("zip", "birth_year", "birth_doy", "sex"),
+)
+
+
+@register("E4")
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Uniqueness of each QI combination on the synthetic population."""
+    config = PopulationConfig(size=2_000 if quick else 20_000, zip_count=100)
+    population = generate_population(config, derive_rng(seed, "e4"))
+
+    table = Table(
+        ["quasi-identifiers", "unique fraction", "k-anonymity of raw data"],
+        title=f"E4: QI uniqueness (population n={config.size})",
+    )
+    profile = uniqueness_profile(population, QI_LADDER)
+    for names in QI_LADDER:
+        table.add_row(
+            [
+                " + ".join(names),
+                profile[names],
+                k_anonymity_level(population, names),
+            ]
+        )
+
+    full_triple = profile[("zip", "birth_year", "birth_doy", "sex")]
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Uniqueness of (ZIP, birth date, sex)",
+        paper_claim=(
+            "the combination of ZIP code, birth date, and sex is unique for a "
+            "vast majority of the US population (Sweeney estimated ~87%)"
+        ),
+        tables=(table,),
+        headline={"unique_fraction_full_triple": full_triple},
+    )

@@ -1,0 +1,73 @@
+"""E6 — Narayanan-Shmatikov de-anonymization of sparse ratings.
+
+"Little partial knowledge about a subscriber's viewings and ratings, when
+matched with publicly available movie ratings from [IMDb], can lead to the
+exact re-identification of the subscriber."  We sweep how many (noisy)
+ratings the adversary knows and report recall/precision of Scoreboard-RH
+against the pseudonymized release.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.fingerprint import fingerprint_experiment
+from repro.data.ratings import RatingsConfig, generate_ratings
+from repro.experiments.runner import ExperimentResult, register
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+
+@register("E6")
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Recall/precision vs adversary knowledge (number of known ratings)."""
+    config = RatingsConfig(
+        users=400 if quick else 2_000,
+        movies=400 if quick else 1_000,
+    )
+    data = generate_ratings(config, derive_rng(seed, "e6-data"))
+    targets = 25 if quick else 100
+
+    table = Table(
+        ["known ratings", "date error (days)", "recall", "precision", "claims"],
+        title=f"E6: Netflix-style fingerprinting ({config.users} subscribers)",
+    )
+    recall_at_8 = 0.0
+    for known in (2, 3, 4, 6, 8):
+        result = fingerprint_experiment(
+            data,
+            targets=targets,
+            known=known,
+            star_error=1,
+            day_error=14,
+            rng=derive_rng(seed, "e6", known),
+        )
+        table.add_row([known, 14, result.recall, result.precision, result.claimed])
+        if known == 8:
+            recall_at_8 = result.recall
+
+    # The paper notes dates are only approximate; show robustness to worse
+    # date noise at fixed knowledge.
+    noise_table = Table(
+        ["known ratings", "date error (days)", "recall", "precision"],
+        title="E6b: robustness to date noise",
+    )
+    for day_error in (3, 14, 60):
+        result = fingerprint_experiment(
+            data,
+            targets=targets,
+            known=4,
+            star_error=1,
+            day_error=day_error,
+            rng=derive_rng(seed, "e6b", day_error),
+        )
+        noise_table.add_row([4, day_error, result.recall, result.precision])
+
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Sparse-data fingerprinting (Netflix/IMDb)",
+        paper_claim=(
+            "a few approximately-dated ratings re-identify subscribers exactly "
+            "or narrow them to a small candidate set"
+        ),
+        tables=(table, noise_table),
+        headline={"recall_with_8_known_ratings": recall_at_8},
+    )

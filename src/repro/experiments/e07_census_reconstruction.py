@@ -1,0 +1,105 @@
+"""E7 — reconstruction of census tables and re-identification.
+
+The paper's headline real-world numbers: the 2010 Decennial reconstruction
+recovered exact block/sex/age(+-1)/race/ethnicity records for 71% of the US
+population; matching against commercial data re-identified 17%; the
+Bureau's prior estimate of re-identification risk was 0.003% — wrong by a
+factor of ~4500.
+
+We publish the analogous block-level table system for synthetic blocks,
+invert it with the MILP solver, link against a synthetic commercial file,
+and contrast with (a) the naive "risk estimate" that ignores reconstruction
+and (b) a rounding-based SDC defense.
+"""
+
+from __future__ import annotations
+
+from repro.data.censusblocks import CensusConfig, commercial_database, generate_census
+from repro.experiments.runner import ExperimentResult, register
+from repro.reconstruction.census_solver import reconstruct_census, reidentify
+from repro.reconstruction.tabulation import apply_rounding, tabulate_blocks
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+
+@register("E7")
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Reconstruction + re-identification rates on synthetic census blocks."""
+    config = CensusConfig(blocks=12 if quick else 48, mean_block_size=12)
+    rng = derive_rng(seed, "e7")
+    census = generate_census(config, rng)
+    commercial = commercial_database(census, coverage=0.6, age_error=1, rng=rng)
+
+    tables = tabulate_blocks(census)
+    reconstruction = reconstruct_census(tables, truth=census)
+    reid = reidentify(reconstruction, commercial, census, age_tolerance=1)
+
+    table = Table(
+        ["quantity", "paper (2010 US Census)", "measured (synthetic)"],
+        title=f"E7: census reconstruction ({config.blocks} blocks, "
+        f"{len(census)} persons)",
+    )
+    table.add_row(
+        ["records reconstructed exactly", "46% (71% with age +-1)", reconstruction.exact_match_fraction]
+    )
+    table.add_row(["blocks solved", "-", reconstruction.solved_fraction])
+    table.add_row(["re-identified via commercial data", "17%", reid.reidentified_rate])
+    table.add_row(["putative re-identification rate", "45% (attempted)", reid.putative_rate])
+    table.add_row(["precision of claims", "38%", reid.precision])
+
+    # The naive pre-reconstruction risk model: the Bureau assumed published
+    # *tables* identify nobody, so its estimate was ~0.003%.  We quote the
+    # analogous naive figure: re-identifications achievable from the
+    # commercial file alone, with no reconstructed microdata to join to.
+    table.add_row(["naive estimate (no reconstruction)", "0.003%", 0.0])
+
+    defense = Table(
+        ["tables", "exact reconstruction", "re-identified"],
+        title="E7b: legacy rounding vs differential privacy",
+    )
+    defense.add_row(
+        ["as published", reconstruction.exact_match_fraction, reid.reidentified_rate]
+    )
+    rounded = apply_rounding(tables, base=5)
+    rounded_reconstruction = reconstruct_census(rounded, truth=census)
+    rounded_reid = reidentify(rounded_reconstruction, commercial, census, age_tolerance=1)
+    defense.add_row(
+        [
+            "rounded (base 5)",
+            rounded_reconstruction.exact_match_fraction,
+            rounded_reid.reidentified_rate,
+        ]
+    )
+    # The defense that works: per-block DP release of the same tables
+    # (what the 2020 Census disclosure-avoidance redesign adopted).
+    from repro.dp.tabular import dp_tabulation
+
+    dp_exact = {}
+    for epsilon in (4.0, 1.0):
+        noisy = dp_tabulation(tables, epsilon, rng=derive_rng(seed, "e7-dp", epsilon))
+        noisy_reconstruction = reconstruct_census(noisy, truth=census)
+        noisy_reid = reidentify(noisy_reconstruction, commercial, census, age_tolerance=1)
+        defense.add_row(
+            [
+                f"Laplace, eps={epsilon}/block",
+                noisy_reconstruction.exact_match_fraction,
+                noisy_reid.reidentified_rate,
+            ]
+        )
+        dp_exact[epsilon] = noisy_reconstruction.exact_match_fraction
+
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Census table reconstruction and re-identification",
+        paper_claim=(
+            "reconstruction of the 2010 Census tables yielded exact attributes "
+            "for 71% of the population (age +-1); commercial matching "
+            "re-identified 17%; the prior risk estimate was 0.003%"
+        ),
+        tables=(table, defense),
+        headline={
+            "exact_reconstruction_fraction": reconstruction.exact_match_fraction,
+            "reidentified_rate": reid.reidentified_rate,
+            "exact_reconstruction_dp_eps1": dp_exact[1.0],
+        },
+    )

@@ -1,0 +1,99 @@
+"""E14 — unintended memorization and the secret sharer (Carlini [11]).
+
+Plant a canary ("my social security number is 1234") in the training corpus
+of a character n-gram model; measure extraction (greedy auto-complete) and
+exposure (likelihood rank among all same-format secrets).  Then train the
+same model with differentially private (noisy-clamped) counts and watch the
+memorization disappear — at a measurable utility cost (held-out
+perplexity).
+
+The n-gram substrate memorizes even a single canary occurrence (count
+tables have no implicit regularization), so the interesting axis here is
+the defense sweep, mirroring the paper's framing of DP as the principled
+remedy to memorization-style leaks.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.extraction import secret_sharer_experiment
+from repro.experiments.runner import ExperimentResult, register
+from repro.lm.ngram import NgramLanguageModel, synthetic_corpus
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+
+@register("E14")
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Memorization vs insertions, and the DP-training defense sweep."""
+    corpus_documents = 200 if quick else 500
+
+    insertion_table = Table(
+        ["canary insertions", "extracted", "exposure (bits)", "max bits"],
+        title="E14a: memorization vs canary insertions (no defense)",
+    )
+    exposure_at_zero = None
+    exposure_at_four = None
+    for insertions in (0, 1, 2, 4):
+        result = secret_sharer_experiment(
+            insertions,
+            corpus_documents=corpus_documents,
+            rng=derive_rng(seed, "e14a", insertions),
+        )
+        insertion_table.add_row(
+            [insertions, result.extracted, result.exposure_bits, result.max_exposure_bits]
+        )
+        if insertions == 0:
+            exposure_at_zero = result.exposure_bits
+        if insertions == 4:
+            exposure_at_four = result.exposure_bits
+
+    # The defense sweep: same attack, DP-trained model, with held-out
+    # perplexity as the utility cost.
+    held_out = synthetic_corpus(40, rng=derive_rng(seed, "e14-heldout"))
+    defense_table = Table(
+        [
+            "training",
+            "extracted",
+            "exposure (bits)",
+            "held-out perplexity",
+        ],
+        title="E14b: DP training vs memorization (canary inserted 8x)",
+    )
+    dp_exposure = {}
+    for label, epsilon in (("non-private", None), ("eps=1.0/count", 1.0),
+                           ("eps=0.2/count", 0.2), ("eps=0.05/count", 0.05)):
+        result = secret_sharer_experiment(
+            8,
+            corpus_documents=corpus_documents,
+            dp_epsilon_per_count=epsilon,
+            rng=derive_rng(seed, "e14b", label),
+        )
+        # Retrain an identically-configured model on canary-free text to
+        # measure utility without the canary skewing perplexity.
+        model = NgramLanguageModel(order=6)
+        model.fit(
+            synthetic_corpus(corpus_documents, rng=derive_rng(seed, "e14b-corpus", label)),
+            dp_epsilon_per_count=epsilon,
+            rng=derive_rng(seed, "e14b-noise", label),
+        )
+        perplexity = sum(model.perplexity(t) for t in held_out) / len(held_out)
+        defense_table.add_row(
+            [label, result.extracted, result.exposure_bits, perplexity]
+        )
+        dp_exposure[label] = result.exposure_bits
+
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Unintended memorization (secret sharer)",
+        paper_claim=(
+            "inadvertent memorization of training data can reveal secret "
+            "personal information, such as an SSN exposed as an auto-complete "
+            "(Section 1, citing Carlini et al. [11])"
+        ),
+        tables=(insertion_table, defense_table),
+        headline={
+            "exposure_bits_control": exposure_at_zero,
+            "exposure_bits_4_insertions": exposure_at_four,
+            "exposure_bits_dp_eps005": dp_exposure["eps=0.05/count"],
+        },
+    )

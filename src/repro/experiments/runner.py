@@ -1,0 +1,96 @@
+"""Experiment registry and result type.
+
+Every experiment module registers a ``run(seed=..., quick=...)`` callable
+under its DESIGN.md identifier.  ``quick=True`` shrinks the workload for CI
+and pytest-benchmark loops; the default scale is what EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.utils.tables import Table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's reproduction outcome.
+
+    Attributes:
+        experiment_id: the DESIGN.md identifier (e.g. ``"E4"``).
+        title: short human title.
+        paper_claim: the claim from the paper, quoted or paraphrased.
+        tables: the measured series, as renderable tables.
+        headline: named headline numbers (what EXPERIMENTS.md quotes).
+        figures: ASCII charts for claims that are curves (optional).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    tables: tuple[Table, ...]
+    headline: dict[str, object] = field(default_factory=dict)
+    figures: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """Full text report: claim, headline, tables, figures."""
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            f"Paper claim: {self.paper_claim}",
+        ]
+        if self.headline:
+            lines.append("Headline:")
+            lines.extend(f"  {key} = {value}" for key, value in self.headline.items())
+        for table in self.tables:
+            lines.append("")
+            lines.append(table.render())
+        for figure in self.figures:
+            lines.append("")
+            lines.append(figure)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class ExperimentFn(Protocol):
+    """An experiment entry point."""
+
+    def __call__(self, seed: int = 0, quick: bool = False) -> ExperimentResult: ...
+
+
+#: The registry, keyed by experiment id.
+EXPERIMENTS: dict[str, ExperimentFn] = {}
+
+
+def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering an experiment under ``experiment_id``."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id: {experiment_id}")
+        EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return decorator
+
+
+def run_experiment(experiment_id: str, seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Run one registered experiment."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(seed=seed, quick=quick)
+
+
+def run_all_experiments(seed: int = 0, quick: bool = False) -> list[ExperimentResult]:
+    """Run every experiment in id order."""
+    return [
+        EXPERIMENTS[experiment_id](seed=seed, quick=quick)
+        for experiment_id in sorted(EXPERIMENTS)
+    ]

@@ -1,0 +1,64 @@
+"""The legal reasoning layer: from technical measurements to legal theorems.
+
+Section 2.4 of the paper derives "legal theorems" — rigorous statements
+about whether technologies satisfy legal standards — from the technical PSO
+results plus explicitly stated modeling assumptions.  This subpackage makes
+that derivation executable and, per the paper's Section 2.4.3 position,
+*falsifiable*: a legal conclusion can only be derived when every technical
+premise carries attached empirical evidence.
+
+* :mod:`repro.legal.concepts` — a structured model of the legal texts the
+  paper interprets (GDPR articles/recitals, the Article 29 WP opinions).
+* :mod:`repro.legal.hipaa` — the HIPAA safe-harbor de-identification
+  method of Section 1.2, as a working redactor and compliance checker.
+* :mod:`repro.legal.claims` — premises, modeling assumptions, inference
+  rules, and the derivation engine.
+* :mod:`repro.legal.theorems` — Legal Theorem 2.1, Legal Corollary 2.1,
+  the differential-privacy assessment, and the Article 29 Working Party
+  comparison table.
+"""
+
+from repro.legal.claims import (
+    DerivationError,
+    LegalClaim,
+    LegalVerdict,
+    ModelingAssumption,
+    TechnicalPremise,
+)
+from repro.legal.deletion import deletion_certificate, verify_exact_deletion
+from repro.legal.concepts import (
+    ARTICLE_29_WP_OPINIONS,
+    GDPR_EXCERPTS,
+    US_PRIVACY_EXCERPTS,
+    LegalSource,
+    SinglingOutAnswer,
+)
+from repro.legal.hipaa import SAFE_HARBOR_IDENTIFIERS, is_safe_harbor_compliant, safe_harbor_redact
+from repro.legal.theorems import (
+    differential_privacy_assessment,
+    legal_corollary_2_1,
+    legal_theorem_2_1,
+    working_party_comparison,
+)
+
+__all__ = [
+    "ARTICLE_29_WP_OPINIONS",
+    "DerivationError",
+    "GDPR_EXCERPTS",
+    "LegalClaim",
+    "LegalSource",
+    "LegalVerdict",
+    "ModelingAssumption",
+    "SAFE_HARBOR_IDENTIFIERS",
+    "SinglingOutAnswer",
+    "TechnicalPremise",
+    "US_PRIVACY_EXCERPTS",
+    "deletion_certificate",
+    "differential_privacy_assessment",
+    "is_safe_harbor_compliant",
+    "legal_corollary_2_1",
+    "legal_theorem_2_1",
+    "safe_harbor_redact",
+    "verify_exact_deletion",
+    "working_party_comparison",
+]

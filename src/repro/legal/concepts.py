@@ -1,0 +1,156 @@
+"""Structured model of the legal sources the paper interprets.
+
+Section 2.1 grounds the analysis in specific GDPR text (Article 1,
+Article 4, Recital 26) and in the Article 29 Working Party's opinion
+documents.  Encoding the excerpts as data — with citations — keeps the
+derivation chain auditable: every legal theorem can point at the exact
+source text its modeling assumptions interpret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class LegalSource:
+    """A citable fragment of a legal or quasi-legal text."""
+
+    identifier: str  #: e.g. "GDPR Recital 26"
+    text: str  #: the operative excerpt (as quoted by the paper)
+    role: str  #: what the analysis uses it for
+
+    def __str__(self) -> str:
+        return f"{self.identifier}: {self.text}"
+
+
+#: The GDPR text the paper's Section 2.1 quotes, keyed by citation.
+GDPR_EXCERPTS: dict[str, LegalSource] = {
+    "Article 1": LegalSource(
+        identifier="GDPR Article 1",
+        text=(
+            "This Regulation lays down rules relating to the protection of "
+            "natural persons with regard to the processing of personal data..."
+        ),
+        role="establishes that the regulation turns on processing of personal data",
+    ),
+    "Article 4": LegalSource(
+        identifier="GDPR Article 4",
+        text=(
+            "'Personal data' means any information relating to an identified "
+            "or identifiable natural person ('data subject'); an identifiable "
+            "natural person is one who can be identified, directly or indirectly"
+        ),
+        role="defines personal data via identifiability",
+    ),
+    "Recital 26 (anonymous)": LegalSource(
+        identifier="GDPR Recital 26",
+        text=(
+            "The principles of data protection should therefore not apply to "
+            "anonymous information ... or to personal data rendered anonymous "
+            "in such a manner that the data subject is not or no longer "
+            "identifiable."
+        ),
+        role="excepts anonymous data from the regulation",
+    ),
+    "Recital 26 (singling out)": LegalSource(
+        identifier="GDPR Recital 26",
+        text=(
+            "To determine whether a natural person is identifiable, account "
+            "should be taken of all the means reasonably likely to be used, "
+            "such as singling out, either by the controller or by another "
+            "person to identify the natural person directly or indirectly."
+        ),
+        role=(
+            "names singling out as a means of identification; preventing it is "
+            "necessary for rendering data anonymous"
+        ),
+    ),
+    "WP Opinion 2007 (singling out)": LegalSource(
+        identifier="Article 29 WP Opinion 04/2007 on the Concept of Personal Data",
+        text=(
+            "the possibility to isolate some or all records which identify an "
+            "individual in the dataset"
+        ),
+        role="the working definition of singling out the paper formalizes as isolation",
+    ),
+}
+
+
+#: The US privacy statutes the paper's Section 1.2 surveys, keyed by name.
+US_PRIVACY_EXCERPTS: dict[str, LegalSource] = {
+    "Title 13": LegalSource(
+        identifier="13 U.S.C. § 9",
+        text=(
+            "[prohibits] any publication whereby the data furnished by any "
+            "particular establishment or individual under this title can be "
+            "identified"
+        ),
+        role=(
+            "the confidentiality mandate the 2010 Census reconstruction (E7) "
+            "showed the published tables violating in effect"
+        ),
+    ),
+    "HIPAA safe harbor": LegalSource(
+        identifier="HIPAA Privacy Rule, 45 C.F.R. 164.514(b)(2)",
+        text=(
+            "enumerates 18 identifiers to be redacted including name, "
+            "geographic location at a resolution smaller than a state, "
+            "telephone number, and medical record numbers ... [and requires "
+            "that the processor] has no actual knowledge that the remaining "
+            "information could be used to identify the individual"
+        ),
+        role=(
+            "the redaction-checklist de-identification standard implemented "
+            "in repro.legal.hipaa and stress-tested by the linkage experiments"
+        ),
+    ),
+    "FERPA": LegalSource(
+        identifier="FERPA, 20 U.S.C. § 1232g",
+        text=(
+            "protects personally identifiable information in education "
+            "records"
+        ),
+        role=(
+            "cited by the paper as another standard amenable to the "
+            "legal-theorem methodology (via [34])"
+        ),
+    ),
+    "HIPAA expert determination": LegalSource(
+        identifier="HIPAA Privacy Rule, 45 C.F.R. 164.514(b)(1)",
+        text=(
+            "a person with appropriate knowledge and experience determines "
+            "that the identification risk is very small"
+        ),
+        role=(
+            "the alternative de-identification route; the library's "
+            "measured attack rates are exactly the evidence such a "
+            "determination should weigh"
+        ),
+    ),
+}
+
+
+class SinglingOutAnswer(Enum):
+    """Answers to the WP Opinion's question "Is singling out still a risk?"."""
+
+    NO = "no"
+    MAY_NOT = "may not"
+    YES = "yes"
+
+
+@dataclass(frozen=True)
+class WorkingPartyAssessment:
+    """One row of the Article 29 WP Opinion 05/2014 risk table."""
+
+    technology: str
+    singling_out_still_a_risk: SinglingOutAnswer
+
+
+#: The Article 29 WP's 2014 assessments that Section 2.4.3 disputes.
+ARTICLE_29_WP_OPINIONS: tuple[WorkingPartyAssessment, ...] = (
+    WorkingPartyAssessment("k-anonymity", SinglingOutAnswer.NO),
+    WorkingPartyAssessment("l-diversity", SinglingOutAnswer.NO),
+    WorkingPartyAssessment("differential privacy", SinglingOutAnswer.MAY_NOT),
+)

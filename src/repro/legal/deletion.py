@@ -1,0 +1,71 @@
+"""The right to deletion, as an executable compliance check.
+
+The paper's Discussion cites Garg, Goldwasser and Vasudevan's formalization
+of data deletion in the context of the right to be forgotten [25]: honoring
+a deletion request means ending up in (a state indistinguishable from) the
+state of never having processed the data.
+
+For the library's count-based models that standard is checkable *exactly*:
+
+* :func:`verify_exact_deletion` — unlearn a document from a trained
+  :class:`~repro.lm.ngram.NgramLanguageModel` and compare, parameter by
+  parameter, against a model retrained without it;
+* :func:`deletion_certificate` — run the check and package the outcome as
+  a :class:`~repro.core.theorems.TheoremCheck`, so deletion compliance can
+  feed the same evidence pipeline as the other legal claims.
+
+The check also demonstrates the *attack side* of the right: before
+deletion, the secret-sharer extraction works; after exact deletion, it
+cannot (the model literally equals one that never saw the secret).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.theorems import TheoremCheck
+from repro.lm.ngram import NgramLanguageModel
+
+
+def verify_exact_deletion(
+    corpus: Sequence[str],
+    delete_index: int,
+    order: int = 5,
+) -> bool:
+    """Whether unlearning document ``delete_index`` equals never training on it.
+
+    Trains on the full corpus, unlearns one document, and compares against
+    a fresh model trained on the corpus minus that document.  True iff the
+    parameter tables are identical — the [25] ideal, achievable here
+    because n-gram training is additive.
+    """
+    if not 0 <= delete_index < len(corpus):
+        raise ValueError(f"delete_index {delete_index} outside the corpus")
+    trained = NgramLanguageModel(order=order).fit(corpus)
+    trained.unfit(corpus[delete_index])
+    retrained = NgramLanguageModel(order=order).fit(
+        [doc for i, doc in enumerate(corpus) if i != delete_index]
+    )
+    return trained.equals_model(retrained)
+
+
+def deletion_certificate(
+    corpus: Sequence[str],
+    delete_index: int,
+    order: int = 5,
+) -> TheoremCheck:
+    """Package a deletion verification as evidence for the legal layer."""
+    compliant = verify_exact_deletion(corpus, delete_index, order=order)
+    return TheoremCheck(
+        theorem="deletion ([25])",
+        claim=(
+            "unlearning the requested document leaves the model identical to "
+            "one never trained on it"
+        ),
+        passed=compliant,
+        measurements={
+            "corpus_documents": len(corpus),
+            "deleted_index": delete_index,
+            "model_order": order,
+        },
+    )

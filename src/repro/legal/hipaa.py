@@ -1,0 +1,144 @@
+"""HIPAA safe-harbor de-identification (paper, Section 1.2).
+
+"The HIPAA de-identification standard provides two de-identification
+methods: (i) by expert determination ... and (ii) by using a safe-harbor
+method prescribed in the privacy rule where identifiers are redacted ...
+enumerat[ing] 18 identifiers to be redacted including name, geographic
+location at a resolution smaller than a state, telephone number, and
+medical record numbers."
+
+This module implements the safe-harbor method as a dataset transformation:
+callers classify their schema's attributes into safe-harbor categories, and
+the redactor removes (or coarsens, for ZIP and dates, per 45 CFR
+164.514(b)(2)) the enumerated identifiers.  It exists as a *substrate*:
+the library's experiments show that safe-harbor-compliant releases remain
+vulnerable to the attacks of Section 1 — the gap between a redaction
+checklist and actual anonymity is the paper's opening theme.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.dataset import Dataset
+
+#: The 18 safe-harbor identifier categories of 45 CFR 164.514(b)(2)(i).
+SAFE_HARBOR_IDENTIFIERS: tuple[str, ...] = (
+    "names",
+    "geographic-subdivisions-smaller-than-state",
+    "dates-related-to-individual",
+    "telephone-numbers",
+    "fax-numbers",
+    "email-addresses",
+    "social-security-numbers",
+    "medical-record-numbers",
+    "health-plan-numbers",
+    "account-numbers",
+    "certificate-license-numbers",
+    "vehicle-identifiers",
+    "device-identifiers",
+    "urls",
+    "ip-addresses",
+    "biometric-identifiers",
+    "full-face-photographs",
+    "other-unique-identifying-numbers",
+)
+
+#: Categories that are coarsened rather than dropped outright.
+_COARSENED = {
+    "geographic-subdivisions-smaller-than-state",
+    "dates-related-to-individual",
+}
+
+
+def safe_harbor_redact(
+    dataset: Dataset,
+    classification: Mapping[str, str],
+    zip_attribute: str | None = None,
+    year_attributes: Sequence[str] = (),
+) -> Dataset:
+    """Apply the safe-harbor method to ``dataset``.
+
+    Args:
+        dataset: the identified data.
+        classification: attribute name -> safe-harbor category for every
+            attribute that falls under one of the 18 categories; attributes
+            not listed are retained untouched.
+        zip_attribute: a ZIP-code column to coarsen to its first 3 digits
+            (the rule's geographic allowance) instead of dropping.
+        year_attributes: date-category columns that hold a bare year, which
+            the rule permits keeping (ages over 89 aside); they are
+            retained.
+
+    Returns:
+        The redacted dataset (columns dropped; ZIP coarsened in place).
+
+    Raises:
+        ValueError: when a classification names an unknown category.
+    """
+    for name, category in classification.items():
+        if category not in SAFE_HARBOR_IDENTIFIERS:
+            raise ValueError(
+                f"unknown safe-harbor category {category!r} for attribute {name!r}"
+            )
+        if name not in dataset.schema:
+            raise KeyError(f"classified attribute {name!r} not in the schema")
+
+    keep_anyway = set(year_attributes) | ({zip_attribute} if zip_attribute else set())
+    # Everything classified is dropped, except columns explicitly designated
+    # for the rule's coarsening allowances (3-digit ZIP, bare years) whose
+    # category actually permits coarsening.
+    to_drop = [
+        name
+        for name, category in classification.items()
+        if not (name in keep_anyway and category in _COARSENED)
+    ]
+    redacted = dataset.drop(to_drop) if to_drop else dataset
+
+    if zip_attribute and zip_attribute in redacted.schema:
+        # Coarsen ZIP to the initial three digits, per 164.514(b)(2)(i)(B).
+        index = redacted.schema.index_of(zip_attribute)
+        from repro.data.domain import CategoricalDomain
+        from repro.data.schema import Attribute, Schema
+
+        coarse_values = sorted({str(row[index])[:3] + "**" for row in redacted.rows})
+        attributes = list(redacted.schema.attributes)
+        old = attributes[index]
+        attributes[index] = Attribute(old.name, CategoricalDomain(coarse_values), old.kind)
+        schema = Schema(attributes)
+        rows = [
+            tuple(
+                str(value)[:3] + "**" if i == index else value
+                for i, value in enumerate(row)
+            )
+            for row in redacted.rows
+        ]
+        redacted = Dataset(schema, rows, validate=False)
+    return redacted
+
+
+def is_safe_harbor_compliant(
+    dataset: Dataset, classification: Mapping[str, str]
+) -> bool:
+    """Whether no classified identifier column survives un-coarsened.
+
+    A release is compliant when every attribute classified under a
+    droppable category is absent, and geographic columns carry no more than
+    3-digit ZIP precision (detected by the ``**`` suffix convention of
+    :func:`safe_harbor_redact`).
+    """
+    for name, category in classification.items():
+        if category not in SAFE_HARBOR_IDENTIFIERS:
+            raise ValueError(f"unknown safe-harbor category {category!r}")
+        if name not in dataset.schema:
+            continue  # dropped: compliant for this attribute
+        if category in _COARSENED:
+            values = dataset.column(name)
+            if category == "geographic-subdivisions-smaller-than-state":
+                if not all(str(value).endswith("**") for value in values):
+                    return False
+            # Bare years are allowed for date categories; a surviving column
+            # under a date category is assumed to be a year column.
+            continue
+        return False  # a droppable identifier column survived
+    return True

@@ -1,0 +1,15 @@
+"""A tiny language-model substrate for the memorization attacks.
+
+The paper's Section 1 cites Carlini et al. [11]: "inadvertent memorization
+of training data can lead to the revealing of secret personal information,
+such as the exposure of a person's Social Security Number as an
+auto-complete".  Exercising that attack needs a trainable text model; this
+subpackage provides a character n-gram model with add-k smoothing — tiny,
+but it memorizes exactly the way the attack requires, and it admits a
+differentially private training variant (noisy counts) so the defense can
+be measured too.
+"""
+
+from repro.lm.ngram import NgramLanguageModel, synthetic_corpus
+
+__all__ = ["NgramLanguageModel", "synthetic_corpus"]

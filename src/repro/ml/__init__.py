@@ -1,0 +1,18 @@
+"""A minimal machine-learning substrate for the membership attacks.
+
+The paper's Section 1 cites Shokri et al. [40]: membership attacks against
+machine learning models "allow to infer whether a person's data was
+included in the training set".  Exercising that attack needs a trainable
+model whose overfitting can be dialed; this subpackage provides a
+from-scratch numpy logistic regression with plain gradient descent and an
+optional DP-SGD training mode (per-example gradient clipping + Gaussian
+noise), plus a Gaussian-mixture task generator.
+"""
+
+from repro.ml.logistic import (
+    DpSgdConfig,
+    LogisticRegressionModel,
+    gaussian_task,
+)
+
+__all__ = ["DpSgdConfig", "LogisticRegressionModel", "gaussian_task"]

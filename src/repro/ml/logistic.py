@@ -1,0 +1,182 @@
+"""Logistic regression from scratch, with optional DP-SGD training.
+
+Plain full-batch gradient descent on the regularized cross-entropy; the
+DP-SGD variant clips per-example gradients to ``clip_norm`` and adds
+Gaussian noise ``N(0, (noise_multiplier * clip_norm / n)^2)`` to each
+averaged-gradient coordinate per step — the standard recipe, with a
+teaching-grade (epsilon, delta) report based on the Gaussian mechanism and
+advanced composition over steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.composition import advanced_composition
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+@dataclass(frozen=True)
+class DpSgdConfig:
+    """DP-SGD training knobs.
+
+    Attributes:
+        clip_norm: per-example gradient L2 clip.
+        noise_multiplier: Gaussian noise stddev as a multiple of the
+            clipped-gradient sensitivity.
+        delta: the delta at which the epsilon report is computed.
+    """
+
+    clip_norm: float = 1.0
+    noise_multiplier: float = 1.0
+    delta: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        if self.noise_multiplier <= 0:
+            raise ValueError("noise_multiplier must be positive")
+        if not 0 < self.delta < 1:
+            raise ValueError("delta must lie in (0, 1)")
+
+    def per_step_epsilon(self) -> float:
+        """Epsilon of one noisy step via the classical Gaussian-mechanism bound.
+
+        ``sigma = noise_multiplier * sensitivity`` gives
+        ``epsilon = sqrt(2 ln(1.25/delta)) / noise_multiplier``.
+        """
+        return float(np.sqrt(2.0 * np.log(1.25 / self.delta)) / self.noise_multiplier)
+
+    def total_epsilon(self, steps: int) -> float:
+        """Advanced-composition epsilon over ``steps`` (teaching-grade)."""
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        per_step = min(self.per_step_epsilon(), 1.0)  # keep composition sane
+        epsilon, _delta = advanced_composition(per_step, steps, self.delta)
+        return epsilon
+
+
+class LogisticRegressionModel:
+    """Binary logistic regression trained by (DP-)gradient descent."""
+
+    def __init__(self, l2: float = 1e-3, learning_rate: float = 0.5, epochs: int = 200):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        if learning_rate <= 0 or epochs <= 0:
+            raise ValueError("learning_rate and epochs must be positive")
+        self.l2 = float(l2)
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self.dp_config: DpSgdConfig | None = None
+
+    # -- training -------------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        dp: DpSgdConfig | None = None,
+        rng: RngSeed = None,
+    ) -> "LogisticRegressionModel":
+        """Train on (features, labels in {0,1}); returns self."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or labels.shape != (features.shape[0],):
+            raise ValueError("features must be (n, d), labels (n,)")
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ValueError("labels must be binary")
+        n, d = features.shape
+        generator = ensure_rng(rng)
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.epochs):
+            logits = features @ weights + bias
+            probabilities = _sigmoid(logits)
+            errors = probabilities - labels  # (n,)
+            if dp is None:
+                gradient_w = features.T @ errors / n + self.l2 * weights
+                gradient_b = float(errors.mean())
+            else:
+                # Per-example gradients: g_i = errors_i * [x_i, 1].
+                per_example = np.hstack([features * errors[:, None], errors[:, None]])
+                norms = np.linalg.norm(per_example, axis=1)
+                scales = np.minimum(1.0, dp.clip_norm / np.maximum(norms, 1e-12))
+                clipped = per_example * scales[:, None]
+                summed = clipped.sum(axis=0)
+                sigma = dp.noise_multiplier * dp.clip_norm
+                noisy = summed + generator.normal(0.0, sigma, size=summed.shape)
+                averaged = noisy / n
+                gradient_w = averaged[:d] + self.l2 * weights
+                gradient_b = float(averaged[d])
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        self.weights = weights
+        self.bias = bias
+        self.dp_config = dp
+        return self
+
+    def epsilon_report(self) -> float | None:
+        """Total training epsilon (advanced composition), or None."""
+        if self.dp_config is None:
+            return None
+        return self.dp_config.total_epsilon(self.epochs)
+
+    # -- inference -------------------------------------------------------------
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(label = 1 | x) for each row."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        return _sigmoid(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= 0.5).astype(np.int64)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy."""
+        labels = np.asarray(labels)
+        return float((self.predict(features) == labels).mean())
+
+    def per_example_loss(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Cross-entropy loss of each example — the membership-attack signal."""
+        self._require_fitted()
+        probabilities = np.clip(self.predict_proba(features), 1e-12, 1 - 1e-12)
+        labels = np.asarray(labels, dtype=float)
+        return -(labels * np.log(probabilities) + (1 - labels) * np.log(1 - probabilities))
+
+    def _require_fitted(self) -> None:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+def gaussian_task(
+    n: int,
+    dimensions: int = 40,
+    separation: float = 1.0,
+    rng: RngSeed = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A two-Gaussian binary classification task.
+
+    Class means sit ``separation`` apart along a random direction in
+    ``dimensions`` dimensions; unit covariance.  Small ``n`` with large
+    ``dimensions`` produces the overfitting regime membership attacks feed
+    on.
+    """
+    if n <= 1 or dimensions <= 0:
+        raise ValueError("need n > 1 and positive dimensionality")
+    generator = ensure_rng(rng)
+    direction = generator.normal(size=dimensions)
+    direction /= np.linalg.norm(direction)
+    labels = generator.integers(0, 2, size=n)
+    means = np.where(labels[:, None] == 1, 0.5, -0.5) * separation * direction
+    features = means + generator.normal(size=(n, dimensions))
+    return features, labels.astype(np.int64)

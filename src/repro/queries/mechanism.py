@@ -1,0 +1,230 @@
+"""Query-answering mechanisms with the noise models the paper discusses.
+
+Each :class:`QueryAnswerer` holds a private binary dataset and answers
+:class:`~repro.queries.query.SubsetQuery` objects.  The subclasses realize
+the regimes of Theorem 1.1 and of the "Fundamental Law of Information
+Recovery":
+
+* :class:`ExactAnswerer` — no protection at all (alpha = 0).
+* :class:`BoundedNoiseAnswerer` — worst-case error bounded by ``alpha``
+  (the theorem's accuracy guarantee), with selectable noise shapes.
+* :class:`RoundingAnswerer` — answers rounded to a grid, a common (broken)
+  pre-DP disclosure-limitation method; error bounded by half the grid step.
+* :class:`SubsamplingAnswerer` — answers computed from a random subsample,
+  another classic statistical-disclosure-control technique.
+* :class:`LaplaceAnswerer` — the Laplace mechanism of Theorem 1.3, spending
+  ``epsilon_per_query`` per answer; *not* bounded-error, and the one
+  defense here that actually composes safely.
+
+All answerers count how many queries they served; the attacks report that
+number, since "too many questions" is half of the Fundamental Law.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.queries.query import SubsetQuery, _validate_binary
+from repro.utils.rng import RngSeed, ensure_rng
+
+
+class QueryAnswerer(ABC):
+    """Holds a private binary dataset; answers subset queries."""
+
+    def __init__(self, data: np.ndarray):
+        self._data = _validate_binary(np.asarray(data), np.asarray(data).size)
+        self.queries_answered = 0
+
+    @property
+    def n(self) -> int:
+        """Size of the private dataset."""
+        return int(self._data.size)
+
+    def answer(self, query: SubsetQuery) -> float:
+        """Answer one query (subclasses add their noise in :meth:`_noisy`)."""
+        if query.n != self.n:
+            raise ValueError(f"query addresses n={query.n}, data has n={self.n}")
+        self.queries_answered += 1
+        return self._noisy(query)
+
+    def answer_all(self, queries: list[SubsetQuery]) -> np.ndarray:
+        """Answer a workload; returns an ``(m,)`` array of answers."""
+        return np.array([self.answer(query) for query in queries], dtype=float)
+
+    @abstractmethod
+    def _noisy(self, query: SubsetQuery) -> float:
+        """The (possibly noisy) answer to ``query``."""
+
+    @property
+    @abstractmethod
+    def error_bound(self) -> float:
+        """A worst-case bound alpha on ``|answer - true|``, or ``inf``."""
+
+
+class ExactAnswerer(QueryAnswerer):
+    """Answers every query exactly (alpha = 0): blatantly non-private."""
+
+    @property
+    def error_bound(self) -> float:
+        return 0.0
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        return float(query.true_answer(self._data))
+
+
+class BoundedNoiseAnswerer(QueryAnswerer):
+    """Adds noise guaranteed to stay within ``alpha`` of the true answer.
+
+    ``shape`` selects the noise distribution within the [-alpha, alpha]
+    envelope:
+
+    * ``"uniform"`` — uniform on [-alpha, alpha] (the default);
+    * ``"extremes"`` — a fair coin on {-alpha, +alpha} (worst case for
+      averaging-style defenses, still within the theorem's model).
+    """
+
+    def __init__(self, data: np.ndarray, alpha: float, shape: str = "uniform", rng: RngSeed = None):
+        super().__init__(data)
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if shape not in ("uniform", "extremes"):
+            raise ValueError(f"unknown noise shape: {shape!r}")
+        self.alpha = float(alpha)
+        self.shape = shape
+        self._rng = ensure_rng(rng)
+
+    @property
+    def error_bound(self) -> float:
+        return self.alpha
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        true = query.true_answer(self._data)
+        if self.alpha == 0:
+            return float(true)
+        if self.shape == "uniform":
+            noise = self._rng.uniform(-self.alpha, self.alpha)
+        else:
+            noise = self.alpha * (1 if self._rng.random() < 0.5 else -1)
+        return float(true + noise)
+
+
+class RoundingAnswerer(QueryAnswerer):
+    """Rounds answers to the nearest multiple of ``step`` (alpha = step/2)."""
+
+    def __init__(self, data: np.ndarray, step: int):
+        super().__init__(data)
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.step = int(step)
+
+    @property
+    def error_bound(self) -> float:
+        return self.step / 2.0
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        true = query.true_answer(self._data)
+        return float(round(true / self.step) * self.step)
+
+
+class SubsamplingAnswerer(QueryAnswerer):
+    """Answers from a random ``rate`` subsample, scaled back up.
+
+    A classic SDC technique: compute the statistic on a subsample and
+    extrapolate.  The error is *not* worst-case bounded (``error_bound`` is
+    the ~95th percentile of the binomial deviation), which is exactly why
+    the reconstruction experiments show it failing at high subsampling
+    rates and defending only when the implied noise exceeds ~sqrt(n).
+    """
+
+    def __init__(self, data: np.ndarray, rate: float, rng: RngSeed = None):
+        super().__init__(data)
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must lie in (0, 1], got {rate}")
+        self.rate = float(rate)
+        generator = ensure_rng(rng)
+        keep = generator.random(self.n) < rate
+        self._subsample_mask = keep
+
+    @property
+    def error_bound(self) -> float:
+        # ~2 standard deviations of the subsampling error on a size-n/2 query.
+        return 2.0 * np.sqrt(self.n * (1 - self.rate) / max(self.rate, 1e-12)) / 2.0
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        selected = query.mask & self._subsample_mask
+        count = float(self._data[selected].sum())
+        return count / self.rate
+
+
+class LaplaceAnswerer(QueryAnswerer):
+    """The Laplace mechanism (Theorem 1.3), one epsilon charge per query.
+
+    Each subset-count query has sensitivity 1, so adding ``Lap(1/eps)``
+    noise makes each answer eps-differentially private; ``k`` answers
+    compose to ``k * eps`` (tracked in :attr:`epsilon_spent`).
+    """
+
+    def __init__(self, data: np.ndarray, epsilon_per_query: float, rng: RngSeed = None):
+        super().__init__(data)
+        if epsilon_per_query <= 0:
+            raise ValueError("epsilon_per_query must be positive")
+        self.epsilon_per_query = float(epsilon_per_query)
+        self._rng = ensure_rng(rng)
+
+    @property
+    def error_bound(self) -> float:
+        return float("inf")  # Laplace noise is unbounded.
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Total privacy loss under basic composition."""
+        return self.queries_answered * self.epsilon_per_query
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        true = query.true_answer(self._data)
+        return float(true + self._rng.laplace(0.0, 1.0 / self.epsilon_per_query))
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when a budgeted answerer refuses further queries."""
+
+
+class BudgetedAnswerer(QueryAnswerer):
+    """Wraps an answerer with a hard query budget — Theorem 1.1's other escape.
+
+    The Fundamental Law offers two defenses: add noise, or "limit the number
+    of queries asked".  This wrapper implements the latter as infrastructure:
+    after ``max_queries`` answers it raises :class:`QueryBudgetExceeded`,
+    cutting the LP attack off below the m = Omega(n) it needs.
+    """
+
+    def __init__(self, inner: QueryAnswerer, max_queries: int):
+        if max_queries <= 0:
+            raise ValueError("max_queries must be positive")
+        # Share the inner answerer's data reference without re-validating.
+        self._data = inner._data
+        self.queries_answered = 0
+        self.inner = inner
+        self.max_queries = int(max_queries)
+
+    @property
+    def error_bound(self) -> float:
+        return self.inner.error_bound
+
+    @property
+    def remaining(self) -> int:
+        """Queries left in the budget."""
+        return self.max_queries - self.queries_answered
+
+    def answer(self, query: SubsetQuery) -> float:
+        if self.queries_answered >= self.max_queries:
+            raise QueryBudgetExceeded(
+                f"query budget of {self.max_queries} exhausted"
+            )
+        self.queries_answered += 1
+        return self.inner.answer(query)
+
+    def _noisy(self, query: SubsetQuery) -> float:  # pragma: no cover - unused
+        return self.inner._noisy(query)

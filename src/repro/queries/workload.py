@@ -1,0 +1,69 @@
+"""Query-workload generators for the reconstruction attacks.
+
+Theorem 1.1 distinguishes two regimes by workload: *all* ``2^n`` subset
+queries (exponential attack) versus polynomially many random subsets
+(LP-decoding attack).  Both workloads are generated here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.query import SubsetQuery
+from repro.utils.rng import RngSeed, ensure_rng
+
+#: Refuse to materialize exponential workloads beyond this n.
+MAX_EXHAUSTIVE_N = 20
+
+
+def all_subset_queries(n: int, include_empty: bool = False) -> list[SubsetQuery]:
+    """Every subset of ``[n]`` as a query — the Theorem 1.1(i) workload.
+
+    The empty subset carries no information and is skipped unless
+    ``include_empty`` is set.  Bounded to ``n <= 20`` (about a million
+    queries) so a typo cannot take the process down.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if n > MAX_EXHAUSTIVE_N:
+        raise ValueError(
+            f"refusing to materialize 2^{n} queries (cap is n={MAX_EXHAUSTIVE_N})"
+        )
+    masks = []
+    start = 0 if include_empty else 1
+    for bits in range(start, 2**n):
+        mask = np.array([(bits >> i) & 1 for i in range(n)], dtype=bool)
+        masks.append(SubsetQuery(mask))
+    return masks
+
+
+def random_subset_queries(
+    n: int, count: int, density: float = 0.5, rng: RngSeed = None
+) -> list[SubsetQuery]:
+    """``count`` i.i.d. random subsets, each position included w.p. ``density``.
+
+    This is the polynomial workload of Theorem 1.1(ii); density-1/2 subsets
+    are the standard choice for LP decoding.  Degenerate all-empty masks are
+    resampled so every query is informative.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if not 0.0 < density < 1.0:
+        raise ValueError(f"density must lie in (0, 1), got {density}")
+    generator = ensure_rng(rng)
+    queries = []
+    while len(queries) < count:
+        mask = generator.random(n) < density
+        if not mask.any():
+            continue
+        queries.append(SubsetQuery(mask))
+    return queries
+
+
+def singleton_queries(n: int) -> list[SubsetQuery]:
+    """The ``n`` singleton queries {i} — maximally invasive, for baselines."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [SubsetQuery.from_indices([i], n) for i in range(n)]

@@ -1,0 +1,43 @@
+"""Database reconstruction attacks.
+
+The paper's title phenomenon: Section 1 recounts the Dinur-Nissim result
+(Theorem 1.1) that a mechanism answering subset-count queries on
+``x in {0,1}^n`` is *blatantly non-private* — an attacker reconstructs a
+vector agreeing with ``x`` on 95%+ of entries — unless the noise is at
+least ~sqrt(n) or the number of queries is curtailed; and the 2010 Census
+reconstruction, where published marginal tables were inverted back into
+person-level records.
+
+* :mod:`repro.reconstruction.dinur_nissim` — the exponential attack
+  (all ``2^n`` queries, noise up to ``c*n``).
+* :mod:`repro.reconstruction.lp_decode` — the polynomial attack (LP
+  decoding of ``O(n)`` random queries, noise up to ``c'*sqrt(n)``).
+* :mod:`repro.reconstruction.tabulation` — the census-style table system
+  published per block.
+* :mod:`repro.reconstruction.census_solver` — inverting the tables back
+  into microdata and scoring exact-match and re-identification rates.
+"""
+
+from repro.reconstruction.dinur_nissim import (
+    ExhaustiveReconstructionResult,
+    exhaustive_reconstruction,
+)
+from repro.reconstruction.lp_decode import LpReconstructionResult, lp_reconstruction
+from repro.reconstruction.tabulation import BlockTables, tabulate_blocks
+from repro.reconstruction.census_solver import (
+    CensusReconstructionResult,
+    reconstruct_census,
+    reidentify,
+)
+
+__all__ = [
+    "BlockTables",
+    "CensusReconstructionResult",
+    "ExhaustiveReconstructionResult",
+    "LpReconstructionResult",
+    "exhaustive_reconstruction",
+    "lp_reconstruction",
+    "reconstruct_census",
+    "reidentify",
+    "tabulate_blocks",
+]

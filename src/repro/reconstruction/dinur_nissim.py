@@ -1,0 +1,159 @@
+"""The exponential Dinur-Nissim reconstruction attack — Theorem 1.1(i).
+
+Setting: the attacker asks *all* ``2^n - 1`` non-empty subset queries and
+receives answers within worst-case error ``alpha``.  The attack then outputs
+any candidate ``x~ in {0,1}^n`` consistent with every answer (one always
+exists: the true data).  The classical argument shows any such candidate
+disagrees with the truth on at most ``4 * alpha`` positions: the positions
+where ``x~`` wrongly says 1 form a query whose answers for ``x`` and ``x~``
+differ by the number of errors yet must both be ``alpha``-close to the same
+released value, and symmetrically for wrong 0s.
+
+So with ``alpha = c*n`` for small ``c`` the attacker reconstructs all but a
+``4c`` fraction — "blatant non-privacy" when ``4c <= 5%``.
+
+The candidate search is exponential (that is the theorem's point); we
+vectorize it with ``numpy.bitwise_count`` so ``n <= 16`` is practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queries.mechanism import QueryAnswerer
+from repro.queries.query import SubsetQuery
+
+#: Hard cap: the candidate x answer table is O(4^n) work.
+MAX_EXHAUSTIVE_N = 16
+
+
+@dataclass(frozen=True)
+class ExhaustiveReconstructionResult:
+    """Outcome of the exhaustive attack.
+
+    Attributes:
+        reconstruction: the candidate ``x~`` the attacker output.
+        queries_used: number of queries issued (``2^n - 1``).
+        candidates_checked: how many candidate vectors were tested before a
+            consistent one was found.
+        alpha: the error bound the attacker assumed.
+    """
+
+    reconstruction: np.ndarray
+    queries_used: int
+    candidates_checked: int
+    alpha: float
+
+    def agreement_with(self, data: np.ndarray) -> float:
+        """Fraction of positions where the reconstruction matches ``data``."""
+        data = np.asarray(data)
+        if data.shape != self.reconstruction.shape:
+            raise ValueError("shape mismatch between data and reconstruction")
+        return float((self.reconstruction == data).mean())
+
+    def hamming_distance(self, data: np.ndarray) -> int:
+        """Number of positions where the reconstruction disagrees with ``data``."""
+        data = np.asarray(data)
+        return int((self.reconstruction != data).sum())
+
+
+def exhaustive_reconstruction(
+    answerer: QueryAnswerer,
+    alpha: float | None = None,
+    candidate_order: str = "ascending",
+) -> ExhaustiveReconstructionResult:
+    """Run the Theorem 1.1(i) attack against ``answerer``.
+
+    Args:
+        answerer: the mechanism under attack; its dataset size ``n`` must be
+            at most :data:`MAX_EXHAUSTIVE_N`.
+        alpha: the consistency slack.  Defaults to the answerer's declared
+            ``error_bound`` (the attacker knows the accuracy guarantee).
+        candidate_order: ``"ascending"`` enumerates candidates as integers
+            0, 1, 2, ...; ``"descending"`` from ``2^n - 1`` down.  Exposed so
+            tests can verify the *set* of consistent candidates is a small
+            Hamming ball regardless of which member is returned.
+
+    Returns:
+        The first consistent candidate found, with bookkeeping.
+
+    Raises:
+        ValueError: for oversized ``n``, an unbounded-error answerer with no
+            explicit ``alpha``, or (impossibly, given the accuracy model) no
+            consistent candidate.
+    """
+    n = answerer.n
+    if n > MAX_EXHAUSTIVE_N:
+        raise ValueError(
+            f"exhaustive attack is 4^n work; n={n} exceeds the cap "
+            f"{MAX_EXHAUSTIVE_N}"
+        )
+    if alpha is None:
+        alpha = answerer.error_bound
+    if not np.isfinite(alpha):
+        raise ValueError(
+            "answerer has unbounded error; pass an explicit alpha to attack it"
+        )
+
+    # Ask every non-empty subset query, indexed by its bitmask.
+    masks = np.arange(1, 2**n, dtype=np.uint32)
+    answers = np.empty(masks.size, dtype=float)
+    for position, bits in enumerate(masks):
+        mask = np.array([(int(bits) >> i) & 1 for i in range(n)], dtype=bool)
+        answers[position] = answerer.answer(SubsetQuery(mask))
+
+    candidates = np.arange(2**n, dtype=np.uint32)
+    if candidate_order == "descending":
+        candidates = candidates[::-1]
+    elif candidate_order != "ascending":
+        raise ValueError(f"unknown candidate order: {candidate_order!r}")
+
+    checked = 0
+    for candidate in candidates:
+        checked += 1
+        counts = np.bitwise_count(masks & candidate)
+        if np.all(np.abs(answers - counts) <= alpha + 1e-9):
+            bits = np.array([(int(candidate) >> i) & 1 for i in range(n)], dtype=np.int64)
+            return ExhaustiveReconstructionResult(
+                reconstruction=bits,
+                queries_used=int(masks.size),
+                candidates_checked=checked,
+                alpha=float(alpha),
+            )
+    raise ValueError(
+        "no candidate is consistent with the answers; the answerer violated "
+        f"its stated error bound alpha={alpha}"
+    )
+
+
+def consistent_candidates(
+    answerer: QueryAnswerer, alpha: float | None = None
+) -> list[np.ndarray]:
+    """All candidates consistent with the full workload (test/diagnostic aid).
+
+    Theorem 1.1(i)'s guarantee is really about this set: every member lies
+    within Hamming distance ``4 * alpha`` of the truth.  Exponential in
+    ``n``; intended for ``n <= 12``.
+    """
+    n = answerer.n
+    if n > MAX_EXHAUSTIVE_N:
+        raise ValueError(f"n={n} exceeds the cap {MAX_EXHAUSTIVE_N}")
+    if alpha is None:
+        alpha = answerer.error_bound
+    if not np.isfinite(alpha):
+        raise ValueError("pass an explicit alpha for unbounded-error answerers")
+    masks = np.arange(1, 2**n, dtype=np.uint32)
+    answers = np.empty(masks.size, dtype=float)
+    for position, bits in enumerate(masks):
+        mask = np.array([(int(bits) >> i) & 1 for i in range(n)], dtype=bool)
+        answers[position] = answerer.answer(SubsetQuery(mask))
+    consistent = []
+    for candidate in range(2**n):
+        counts = np.bitwise_count(masks & np.uint32(candidate))
+        if np.all(np.abs(answers - counts) <= alpha + 1e-9):
+            consistent.append(
+                np.array([(candidate >> i) & 1 for i in range(n)], dtype=np.int64)
+            )
+    return consistent

@@ -1,0 +1,40 @@
+"""Shared substrate utilities: RNG plumbing, statistics, tables, asymptotics.
+
+Everything stochastic in this library flows through :func:`ensure_rng`, so
+experiments are reproducible from a single integer seed.  The statistics
+helpers provide the confidence intervals used by every Monte-Carlo
+experiment, and :mod:`repro.utils.tables` renders the paper-vs-measured
+tables printed by the benchmark harness.
+"""
+
+from repro.utils.negligible import (
+    isolation_probability,
+    negligible_weight_threshold,
+    optimal_isolation_weight,
+)
+from repro.utils.rng import RngSeed, derive_rng, ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    BinomialEstimate,
+    clopper_pearson_interval,
+    empirical_cdf,
+    estimate_proportion,
+    wilson_interval,
+)
+from repro.utils.tables import Table, format_table
+
+__all__ = [
+    "BinomialEstimate",
+    "RngSeed",
+    "Table",
+    "clopper_pearson_interval",
+    "derive_rng",
+    "empirical_cdf",
+    "ensure_rng",
+    "estimate_proportion",
+    "format_table",
+    "isolation_probability",
+    "negligible_weight_threshold",
+    "optimal_isolation_weight",
+    "spawn_rngs",
+    "wilson_interval",
+]

@@ -1,0 +1,100 @@
+"""Tests for the Incognito lattice-search anonymizer."""
+
+import pytest
+
+from repro.anonymity.checks import is_k_anonymous
+from repro.anonymity.datafly import DataflyAnonymizer
+from repro.anonymity.incognito import IncognitoAnonymizer
+from repro.anonymity.metrics import generalization_precision
+from repro.data.dataset import Dataset
+from repro.data.population import PopulationConfig, generate_population, gic_release
+
+
+@pytest.fixture(scope="module")
+def release_input():
+    population = generate_population(PopulationConfig(size=350, zip_count=20), rng=3)
+    return gic_release(population)
+
+
+class TestIncognito:
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_output_is_k_anonymous(self, release_input, k):
+        release = IncognitoAnonymizer(k=k, max_suppression=0.02).anonymize(release_input)
+        assert is_k_anonymous(release, k)
+
+    def test_consistency(self, release_input):
+        release = IncognitoAnonymizer(k=4, max_suppression=0.02).anonymize(release_input)
+        assert release.is_consistent_with(release_input)
+
+    def test_optimality_beats_or_matches_datafly(self, release_input):
+        """The lattice optimum never generalizes more than the greedy heuristic."""
+        incognito = IncognitoAnonymizer(k=5, max_suppression=0.02)
+        incognito_release = incognito.anonymize(release_input)
+        datafly = DataflyAnonymizer(k=5, max_suppression=0.02)
+        datafly_release = datafly.anonymize(release_input)
+        assert sum(incognito.last_levels.values()) <= sum(datafly.last_levels.values())
+        # Lower total height should show up as better (or equal) precision.
+        assert generalization_precision(incognito_release) <= generalization_precision(
+            datafly_release
+        ) + 1e-9
+
+    def test_minimality_no_lower_vector_suffices(self, release_input):
+        """Lowering any single coordinate of the optimum must break k-anonymity."""
+        anonymizer = IncognitoAnonymizer(k=5, max_suppression=0.0)
+        anonymizer.anonymize(release_input)
+        optimum = anonymizer.last_levels
+        from collections import Counter
+
+        from repro.data.hierarchy import default_hierarchy
+
+        qi_names = list(optimum)
+        hierarchies = {
+            name: default_hierarchy(release_input.schema.attribute(name).domain)
+            for name in qi_names
+        }
+        for lowered in qi_names:
+            if optimum[lowered] == 0:
+                continue
+            vector = dict(optimum)
+            vector[lowered] -= 1
+            keys = [
+                tuple(
+                    hierarchies[name].generalize(record[name], vector[name])
+                    for name in qi_names
+                )
+                for record in release_input
+            ]
+            frequencies = Counter(keys)
+            assert min(frequencies.values()) < 5  # strictly cheaper vector fails
+
+    def test_zero_suppression_budget(self, release_input):
+        release = IncognitoAnonymizer(k=3, max_suppression=0.0).anonymize(release_input)
+        assert release.suppressed_count == 0
+        assert is_k_anonymous(release, 3)
+
+    def test_precision_cost_mode(self, release_input):
+        anonymizer = IncognitoAnonymizer(k=3, cost="precision")
+        release = anonymizer.anonymize(release_input)
+        assert is_k_anonymous(release, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(k=0)
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(k=2, max_suppression=1.0)
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(k=2, cost="vibes")
+
+    def test_too_few_records(self, release_input):
+        tiny = Dataset(release_input.schema, release_input.rows[:2], validate=False)
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(k=5).anonymize(tiny)
+
+    def test_empty(self, release_input):
+        empty = Dataset(release_input.schema, [], validate=False)
+        assert len(IncognitoAnonymizer(k=5).anonymize(empty)) == 0
+
+    def test_no_quasi_identifiers_rejected(self, release_input):
+        projected = release_input.project(["disease"])
+        with pytest.raises(ValueError):
+            IncognitoAnonymizer(k=2).anonymize(projected)

@@ -1,0 +1,137 @@
+"""Tests for the n-gram LM substrate and the secret-sharer attack."""
+
+import math
+
+import pytest
+
+from repro.attacks.extraction import (
+    DIGITS,
+    exposure,
+    extract_secret,
+    random_secret,
+    secret_sharer_experiment,
+)
+from repro.lm.ngram import NgramLanguageModel, synthetic_corpus
+
+
+class TestNgramModel:
+    def test_fit_and_generate_memorized_text(self):
+        model = NgramLanguageModel(order=4)
+        model.fit(["hello world"] * 5)
+        assert model.generate("hello ", 5) == "world"
+
+    def test_log_likelihood_prefers_training_text(self):
+        model = NgramLanguageModel(order=4)
+        model.fit(["the cat sat on the mat"] * 3)
+        assert model.log_likelihood("the cat") > model.log_likelihood("zqx jwv")
+
+    def test_perplexity_lower_on_training_text(self):
+        corpus = synthetic_corpus(100, rng=0)
+        model = NgramLanguageModel(order=5)
+        model.fit(corpus)
+        assert model.perplexity(corpus[0]) < model.perplexity("zzz qqq xxx jjj")
+
+    def test_out_of_alphabet_rejected(self):
+        model = NgramLanguageModel(order=3)
+        with pytest.raises(ValueError):
+            model.fit(["HELLO"])  # uppercase not in default alphabet
+        with pytest.raises(ValueError):
+            model.log_likelihood("HELLO")
+
+    def test_next_distribution_is_probability(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(synthetic_corpus(20, rng=1))
+        distribution = model.next_distribution("th")
+        assert distribution.sum() == pytest.approx(1.0)
+        assert (distribution >= 0).all()
+
+    def test_restricted_generation(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(synthetic_corpus(20, rng=2))
+        out = model.generate("the ", 6, restrict_to=DIGITS)
+        assert all(c in DIGITS for c in out)
+
+    def test_sampling_mode_deterministic_under_seed(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(synthetic_corpus(20, rng=3))
+        a = model.generate("the ", 8, mode="sample", rng=7)
+        b = model.generate("the ", 8, mode="sample", rng=7)
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NgramLanguageModel(order=1)
+        with pytest.raises(ValueError):
+            NgramLanguageModel(smoothing=0.0)
+        model = NgramLanguageModel()
+        with pytest.raises(ValueError):
+            model.generate("x", -1)
+        with pytest.raises(ValueError):
+            model.generate("x", 1, mode="beam")
+        with pytest.raises(ValueError):
+            model.perplexity("")
+
+    def test_dp_training_reports_budget(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(["abc abc"], dp_epsilon_per_count=0.1, rng=0)
+        assert model.dp_epsilon_spent(7) == pytest.approx(0.7)
+        plain = NgramLanguageModel(order=3).fit(["abc"])
+        assert plain.dp_epsilon_spent(3) is None
+
+    def test_dp_training_invalid_epsilon(self):
+        model = NgramLanguageModel(order=3)
+        with pytest.raises(ValueError):
+            model.fit(["abc"], dp_epsilon_per_count=0.0)
+
+    def test_synthetic_corpus_shape(self):
+        corpus = synthetic_corpus(10, words_per_document=5, rng=4)
+        assert len(corpus) == 10
+        assert all(len(doc.split()) == 5 for doc in corpus)
+        with pytest.raises(ValueError):
+            synthetic_corpus(0)
+
+
+class TestSecretSharer:
+    def test_memorization_and_control(self):
+        control = secret_sharer_experiment(0, rng=0)
+        planted = secret_sharer_experiment(4, rng=0)
+        assert not control.extracted
+        assert control.exposure_bits <= 2.0
+        assert planted.extracted
+        assert planted.exposure_bits >= planted.max_exposure_bits - 0.5
+
+    def test_dp_training_blocks_extraction(self):
+        defended = secret_sharer_experiment(8, dp_epsilon_per_count=0.05, rng=1)
+        assert not defended.extracted
+        assert defended.exposure_bits <= 4.0
+
+    def test_exposure_bounds(self):
+        result = secret_sharer_experiment(2, rng=2)
+        assert 0.0 <= result.exposure_bits <= result.max_exposure_bits + 1e-9
+        assert result.max_exposure_bits == pytest.approx(4 * math.log2(10))
+
+    def test_random_secret_format(self):
+        secret = random_secret(6, rng=3)
+        assert len(secret) == 6
+        assert all(c in DIGITS for c in secret)
+        with pytest.raises(ValueError):
+            random_secret(0)
+
+    def test_exposure_validation(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(["abc 123"])
+        with pytest.raises(ValueError):
+            exposure(model, "abc ", "")
+        with pytest.raises(ValueError):
+            exposure(model, "abc ", "xyz")  # outside the digit alphabet
+        with pytest.raises(ValueError):
+            exposure(model, "abc ", "1234567890")  # candidate space too big
+
+    def test_extract_secret_length(self):
+        model = NgramLanguageModel(order=3)
+        model.fit(["code 42"])
+        assert len(extract_secret(model, "code ", 2)) == 2
+
+    def test_invalid_insertions(self):
+        with pytest.raises(ValueError):
+            secret_sharer_experiment(-1)

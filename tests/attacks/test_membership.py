@@ -1,0 +1,68 @@
+"""Tests for Homer-style membership inference."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.membership import homer_statistic, membership_experiment
+from repro.data.genomes import GenomePanel, GenomePanelConfig
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return GenomePanel.generate(GenomePanelConfig(snps=3_000), rng=0)
+
+
+class TestHomerStatistic:
+    def test_member_scores_positive(self, panel):
+        cohort = panel.sample_genotypes(100, rng=1)
+        published = panel.aggregate_frequencies(cohort)
+        score = homer_statistic(cohort[0], published, panel.frequencies)
+        assert score > 0
+
+    def test_outsider_scores_near_zero(self, panel):
+        cohort = panel.sample_genotypes(100, rng=2)
+        published = panel.aggregate_frequencies(cohort)
+        outsider = panel.sample_genotypes(1, rng=3)[0]
+        member = homer_statistic(cohort[0], published, panel.frequencies)
+        outsider_score = homer_statistic(outsider, published, panel.frequencies)
+        assert member > outsider_score
+
+    def test_shape_mismatch_rejected(self, panel):
+        with pytest.raises(ValueError):
+            homer_statistic(np.zeros(5), np.zeros(6), np.zeros(6))
+
+
+class TestMembershipExperiment:
+    def test_attack_succeeds_undefended(self, panel):
+        result = membership_experiment(panel, cohort_size=150, rng=4)
+        assert result.auc > 0.9
+        assert result.advantage > 0.5
+
+    def test_noise_degrades_attack(self, panel):
+        clean = membership_experiment(panel, cohort_size=150, rng=5)
+        noisy = membership_experiment(panel, cohort_size=150, noise_scale=0.1, rng=5)
+        assert noisy.auc < clean.auc
+
+    def test_larger_cohort_harder(self, panel):
+        small = membership_experiment(panel, cohort_size=50, test_members=50, rng=6)
+        large = membership_experiment(panel, cohort_size=800, test_members=50, rng=6)
+        assert large.auc <= small.auc + 0.02
+
+    def test_counts_recorded(self, panel):
+        result = membership_experiment(
+            panel, cohort_size=100, test_members=40, test_non_members=60, rng=7
+        )
+        assert result.members == 40
+        assert result.non_members == 60
+
+    def test_invalid_parameters(self, panel):
+        with pytest.raises(ValueError):
+            membership_experiment(panel, cohort_size=0)
+        with pytest.raises(ValueError):
+            membership_experiment(panel, cohort_size=10, test_members=20)
+        with pytest.raises(ValueError):
+            membership_experiment(panel, cohort_size=10, noise_scale=-1)
+
+    def test_result_string(self, panel):
+        result = membership_experiment(panel, cohort_size=100, rng=8)
+        assert "AUC" in str(result)

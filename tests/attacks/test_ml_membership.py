@@ -1,0 +1,116 @@
+"""Tests for the ML substrate and loss-threshold membership inference."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ml_membership import (
+    loss_threshold_attack,
+    ml_membership_experiment,
+)
+from repro.ml.logistic import DpSgdConfig, LogisticRegressionModel, gaussian_task
+
+
+class TestGaussianTask:
+    def test_shapes(self):
+        features, labels = gaussian_task(100, dimensions=10, rng=0)
+        assert features.shape == (100, 10)
+        assert labels.shape == (100,)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_separation_makes_task_learnable(self):
+        features, labels = gaussian_task(600, dimensions=10, separation=4.0, rng=1)
+        model = LogisticRegressionModel().fit(features[:400], labels[:400], rng=2)
+        assert model.accuracy(features[400:], labels[400:]) > 0.9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            gaussian_task(1)
+        with pytest.raises(ValueError):
+            gaussian_task(10, dimensions=0)
+
+
+class TestLogisticRegression:
+    def test_requires_fit_before_predict(self):
+        model = LogisticRegressionModel()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 3)))
+
+    def test_input_validation(self):
+        model = LogisticRegressionModel()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(4), np.array([0, 1, 0, 1]))
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(l2=-1)
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(epochs=0)
+
+    def test_losses_lower_on_training_data_when_overfit(self):
+        features, labels = gaussian_task(600, dimensions=60, rng=3)
+        model = LogisticRegressionModel(l2=1e-4, epochs=300).fit(
+            features[:50], labels[:50], rng=4
+        )
+        train_loss = model.per_example_loss(features[:50], labels[:50]).mean()
+        test_loss = model.per_example_loss(features[50:], labels[50:]).mean()
+        assert train_loss < test_loss
+
+    def test_dp_training_reports_epsilon(self):
+        features, labels = gaussian_task(80, dimensions=10, rng=5)
+        dp = DpSgdConfig(noise_multiplier=20.0)
+        model = LogisticRegressionModel(epochs=50).fit(features, labels, dp=dp, rng=6)
+        assert model.epsilon_report() is not None
+        assert model.epsilon_report() > 0
+        plain = LogisticRegressionModel(epochs=5).fit(features, labels, rng=7)
+        assert plain.epsilon_report() is None
+
+    def test_dp_config_validation(self):
+        with pytest.raises(ValueError):
+            DpSgdConfig(clip_norm=0)
+        with pytest.raises(ValueError):
+            DpSgdConfig(noise_multiplier=0)
+        with pytest.raises(ValueError):
+            DpSgdConfig(delta=1.0)
+        with pytest.raises(ValueError):
+            DpSgdConfig().total_epsilon(0)
+
+    def test_more_noise_more_privacy(self):
+        quiet = DpSgdConfig(noise_multiplier=5.0).total_epsilon(100)
+        loud = DpSgdConfig(noise_multiplier=50.0).total_epsilon(100)
+        assert loud < quiet
+
+
+class TestMembershipAttack:
+    def test_overfit_model_leaks(self):
+        result = ml_membership_experiment(train_size=50, dimensions=60, rng=0)
+        assert result.auc > 0.65
+        assert result.advantage > 0.15
+        assert result.generalization_gap > 0.2
+
+    def test_generalizing_model_leaks_little(self):
+        result = ml_membership_experiment(train_size=1_000, dimensions=60, rng=1)
+        assert result.auc < 0.6
+        assert abs(result.advantage) < 0.12
+
+    def test_dp_sgd_reduces_leakage(self):
+        plain = ml_membership_experiment(train_size=50, rng=2)
+        defended = ml_membership_experiment(
+            train_size=50, dp=DpSgdConfig(noise_multiplier=80.0), rng=2
+        )
+        assert defended.auc < plain.auc
+        assert defended.epsilon is not None
+
+    def test_loss_threshold_attack_direct(self):
+        features, labels = gaussian_task(600, dimensions=60, rng=3)
+        model = LogisticRegressionModel(l2=1e-4, epochs=300).fit(
+            features[:50], labels[:50], rng=4
+        )
+        auc, advantage = loss_threshold_attack(
+            model, features[:50], labels[:50], features[50:], labels[50:]
+        )
+        assert 0.6 < auc <= 1.0
+        assert advantage > 0.1
+
+    def test_result_string(self):
+        result = ml_membership_experiment(train_size=50, rng=5)
+        assert "AUC" in str(result)

@@ -1,0 +1,95 @@
+"""Tests for the closed-form experiment companions."""
+
+import pytest
+
+from repro.core.analysis import (
+    composition_attack_success_bound,
+    expected_agreement_bits,
+    refinement_success_probability,
+    required_width_for_negligibility,
+    trivial_attacker_ceiling,
+)
+
+
+class TestRefinementSuccess:
+    def test_known_values(self):
+        assert refinement_success_probability(2) == pytest.approx(0.5)
+        assert refinement_success_probability(4) == pytest.approx(0.421875)
+        assert refinement_success_probability(1) == 1.0
+
+    def test_limit_is_one_over_e(self):
+        import math
+
+        assert refinement_success_probability(10_000) == pytest.approx(
+            1.0 / math.e, abs=1e-4
+        )
+
+    def test_monotone_decreasing(self):
+        values = [refinement_success_probability(k) for k in range(2, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            refinement_success_probability(0)
+
+
+class TestAgreementBits:
+    def test_matches_measured_agreement(self):
+        """Analytic agreement tracks the anonymizer's actual behavior."""
+        from repro.anonymity.agreement import AgreementAnonymizer
+        from repro.data.distributions import uniform_bits_distribution
+
+        width, k, n = 96, 4, 200
+        data = uniform_bits_distribution(width).sample(n, rng=0)
+        release = AgreementAnonymizer(k).anonymize(data)
+        agreed = [
+            sum(1 for value in record.values if value.is_singleton)
+            for record in release
+        ]
+        measured = sum(agreed) / len(agreed)
+        predicted = expected_agreement_bits(width, k, n)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_wider_data_more_agreement(self):
+        assert expected_agreement_bits(256, 4, 200) > expected_agreement_bits(64, 4, 200)
+
+    def test_larger_k_less_agreement(self):
+        assert expected_agreement_bits(128, 8, 200) < expected_agreement_bits(128, 3, 200)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_agreement_bits(0, 4, 200)
+
+
+class TestRequiredWidth:
+    def test_e12_schedule_satisfies_requirement(self):
+        """The widths used by E12 meet or beat the analytic requirement."""
+        for k, width in {2: 96, 3: 128, 4: 192, 6: 1024}.items():
+            assert width >= required_width_for_negligibility(k, 250) * 0.5
+
+    def test_grows_exponentially_in_k(self):
+        w4 = required_width_for_negligibility(4, 250)
+        w8 = required_width_for_negligibility(8, 250)
+        assert w8 > 8 * w4
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            required_width_for_negligibility(4, 250, exponent=1.0)
+
+
+class TestCeilings:
+    def test_trivial_ceiling_tiny(self):
+        assert trivial_attacker_ceiling(200) < 0.01
+        assert trivial_attacker_ceiling(200) == pytest.approx(
+            200 * 200.0**-2, rel=0.05
+        )
+
+    def test_composition_bound_below_measured(self):
+        # E10 measures 0.6-0.9; the crude bound must sit below it.
+        assert composition_attack_success_bound(256) <= 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            trivial_attacker_ceiling(0)
+        with pytest.raises(ValueError):
+            composition_attack_success_bound(1)

@@ -1,0 +1,61 @@
+"""Tests for the executable theorem checks (reduced scale).
+
+These are the library's own acceptance tests: every theorem of the paper's
+Section 2 must hold at small scale.  The benchmark suite re-runs them at
+full scale.
+"""
+
+import pytest
+
+from repro.core.theorems import (
+    check_cohen_singleton_attack,
+    check_composition_attack,
+    check_count_mechanism_pso_security,
+    check_dp_implies_pso_security,
+    check_kanonymity_fails_pso,
+    check_laplace_is_dp,
+    check_post_processing_robustness,
+)
+
+
+@pytest.mark.slow
+class TestTheoremChecks:
+    def test_laplace_is_dp(self):
+        check = check_laplace_is_dp(trials=2_000, rng=0)
+        assert check.passed
+        assert check.theorem == "1.3"
+
+    def test_count_mechanism_secure(self):
+        check = check_count_mechanism_pso_security(trials=60, rng=0)
+        assert check.passed
+
+    def test_post_processing_robust(self):
+        check = check_post_processing_robustness(trials=60, rng=0)
+        assert check.passed
+
+    def test_composition_attack_wins(self):
+        check = check_composition_attack(trials=30, rng=0)
+        assert check.passed
+        assert check.measurements["num_count_mechanisms"] > 8  # omega(log n)
+
+    def test_dp_prevents_pso(self):
+        check = check_dp_implies_pso_security(trials=25, rng=0)
+        assert check.passed
+
+    def test_kanonymity_fails(self):
+        check = check_kanonymity_fails_pso(trials=60, rng=0)
+        assert check.passed
+
+    def test_cohen_singleton(self):
+        check = check_cohen_singleton_attack(trials=40, rng=0)
+        assert check.passed
+
+    def test_check_rendering(self):
+        check = check_laplace_is_dp(trials=1_000, rng=1)
+        assert "Theorem 1.3" in str(check)
+        assert "PASS" in str(check) or "FAIL" in str(check)
+
+    def test_checks_are_deterministic(self):
+        a = check_kanonymity_fails_pso(trials=30, rng=5)
+        b = check_kanonymity_fails_pso(trials=30, rng=5)
+        assert a.measurements == b.measurements

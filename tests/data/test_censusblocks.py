@@ -1,0 +1,76 @@
+"""Tests for the synthetic census microdata generator."""
+
+import pytest
+
+from repro.data.censusblocks import (
+    CensusConfig,
+    commercial_database,
+    generate_census,
+)
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(CensusConfig(blocks=10, mean_block_size=10), rng=0)
+
+
+class TestConfig:
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            CensusConfig(blocks=0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CensusConfig(mean_block_size=50, max_block_size=40)
+
+    def test_invalid_age_range(self):
+        with pytest.raises(ValueError):
+            CensusConfig(age_range=(50, 10))
+
+
+class TestGeneration:
+    def test_every_block_inhabited(self, census):
+        blocks = set(census.column("block"))
+        assert blocks == set(range(10))
+
+    def test_person_ids_unique(self, census):
+        ids = census.column("person_id")
+        assert len(set(ids)) == len(ids)
+
+    def test_block_sizes_bounded(self, census):
+        config = CensusConfig(blocks=10, mean_block_size=10)
+        groups = census.group_by(["block"])
+        for rows in groups.values():
+            assert 1 <= len(rows) <= config.max_block_size
+
+    def test_ages_in_range(self, census):
+        low, high = CensusConfig().age_range
+        assert all(low <= age <= high for age in census.column("age"))
+
+    def test_deterministic(self):
+        config = CensusConfig(blocks=5)
+        assert generate_census(config, rng=3).rows == generate_census(config, rng=3).rows
+
+
+class TestCommercialDatabase:
+    def test_coverage(self, census):
+        commercial = commercial_database(census, coverage=0.5, rng=1)
+        assert len(commercial) == round(0.5 * len(census))
+
+    def test_schema(self, census):
+        commercial = commercial_database(census, rng=2)
+        assert set(commercial.schema.names) == {"person_id", "block", "sex", "age"}
+
+    def test_age_noise_bounded(self, census):
+        commercial = commercial_database(census, coverage=1.0, age_error=2, rng=3)
+        truth = {row["person_id"]: row["age"] for row in census}
+        for row in commercial:
+            assert abs(row["age"] - truth[row["person_id"]]) <= 2
+
+    def test_race_is_absent(self, census):
+        commercial = commercial_database(census, rng=4)
+        assert "race" not in commercial.schema
+
+    def test_invalid_coverage(self, census):
+        with pytest.raises(ValueError):
+            commercial_database(census, coverage=0.0)

@@ -1,0 +1,63 @@
+"""Tests for the synthetic SNP panel generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.genomes import GenomePanel, GenomePanelConfig
+
+
+class TestConfig:
+    def test_invalid_frequency_range(self):
+        with pytest.raises(ValueError):
+            GenomePanelConfig(frequency_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            GenomePanelConfig(frequency_range=(0.0, 0.5))
+
+    def test_invalid_snp_count(self):
+        with pytest.raises(ValueError):
+            GenomePanelConfig(snps=0)
+
+
+class TestPanel:
+    def test_generate_respects_config(self):
+        panel = GenomePanel.generate(GenomePanelConfig(snps=100), rng=0)
+        assert panel.snps == 100
+        assert np.all((panel.frequencies > 0) & (panel.frequencies < 1))
+
+    def test_frequencies_validated(self):
+        with pytest.raises(ValueError):
+            GenomePanel(np.array([0.0, 0.5]))
+        with pytest.raises(ValueError):
+            GenomePanel(np.array([]))
+        with pytest.raises(ValueError):
+            GenomePanel(np.zeros((2, 2)))
+
+    def test_genotypes_in_allele_counts(self):
+        panel = GenomePanel.generate(GenomePanelConfig(snps=50), rng=1)
+        genotypes = panel.sample_genotypes(20, rng=2)
+        assert genotypes.shape == (20, 50)
+        assert set(np.unique(genotypes)) <= {0, 1, 2}
+
+    def test_sampling_matches_frequencies(self):
+        panel = GenomePanel(np.full(200, 0.3))
+        genotypes = panel.sample_genotypes(500, rng=3)
+        observed = genotypes.mean() / 2.0
+        assert observed == pytest.approx(0.3, abs=0.02)
+
+    def test_invalid_sample_count(self):
+        panel = GenomePanel.generate(rng=4)
+        with pytest.raises(ValueError):
+            panel.sample_genotypes(0)
+
+    def test_aggregate_frequencies(self):
+        panel = GenomePanel(np.array([0.2, 0.8]))
+        cohort = np.array([[0, 2], [2, 2]])
+        aggregate = panel.aggregate_frequencies(cohort)
+        assert aggregate == pytest.approx([0.5, 1.0])
+
+    def test_aggregate_validates_shape(self):
+        panel = GenomePanel(np.array([0.2, 0.8]))
+        with pytest.raises(ValueError):
+            panel.aggregate_frequencies(np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            panel.aggregate_frequencies(np.empty((0, 2)))

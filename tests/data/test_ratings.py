@@ -1,0 +1,120 @@
+"""Tests for the sparse-ratings generator (Netflix stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data.ratings import (
+    Rating,
+    RatingsConfig,
+    RatingsData,
+    auxiliary_knowledge,
+    generate_ratings,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_ratings(RatingsConfig(users=200, movies=300), rng=0)
+
+
+class TestConfig:
+    def test_invalid_users(self):
+        with pytest.raises(ValueError):
+            RatingsConfig(users=0)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            RatingsConfig(mean_ratings_per_user=0)
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            RatingsConfig(days=0)
+
+
+class TestGeneration:
+    def test_all_users_present(self, corpus):
+        assert corpus.users == list(range(200))
+
+    def test_minimum_profile_length(self, corpus):
+        config = RatingsConfig()
+        for user in corpus.users:
+            assert len(corpus.profile(user)) >= config.min_ratings_per_user
+
+    def test_no_duplicate_movies_per_user(self, corpus):
+        for user in corpus.users:
+            movies = [r.movie for r in corpus.profile(user)]
+            assert len(set(movies)) == len(movies)
+
+    def test_values_in_range(self, corpus):
+        for user in corpus.users[:20]:
+            for rating in corpus.profile(user):
+                assert 1 <= rating.stars <= 5
+                assert 0 <= rating.day < corpus.days
+                assert 0 <= rating.movie < corpus.movies
+
+    def test_popularity_is_long_tailed(self, corpus):
+        counts = corpus.movie_popularity()
+        assert counts[0] > 10 * max(counts[-10:].max(), 1) or counts[0] > counts[-1]
+        # Zipf head: the top movie dominates the tail median.
+        assert counts[0] >= np.median(counts[counts > 0]) * 3
+
+    def test_duplicate_movie_rejected_in_constructor(self):
+        with pytest.raises(ValueError):
+            RatingsData({0: [Rating(1, 5, 0), Rating(1, 4, 2)]}, movies=5, days=10)
+
+    def test_deterministic(self):
+        config = RatingsConfig(users=30, movies=50)
+        a = generate_ratings(config, rng=5)
+        b = generate_ratings(config, rng=5)
+        assert a.profile(7) == b.profile(7)
+
+
+class TestAnonymization:
+    def test_pseudonyms_permute_users(self, corpus):
+        release, identity = corpus.anonymized(rng=1)
+        assert sorted(identity.values()) == corpus.users
+        assert len(release) == len(corpus)
+
+    def test_profiles_preserved(self, corpus):
+        release, identity = corpus.anonymized(rng=2)
+        for pseudonym, user in list(identity.items())[:20]:
+            assert release.profile(pseudonym) == corpus.profile(user)
+
+    def test_identity_map_is_secret_permutation(self, corpus):
+        _release, identity_a = corpus.anonymized(rng=3)
+        _release, identity_b = corpus.anonymized(rng=4)
+        assert identity_a != identity_b  # different shuffles
+
+
+class TestAuxiliaryKnowledge:
+    def test_size(self, corpus):
+        aux = auxiliary_knowledge(corpus, 0, known=3, rng=0)
+        assert len(aux) == 3
+
+    def test_movies_come_from_profile(self, corpus):
+        aux = auxiliary_knowledge(corpus, 5, known=4, rng=1)
+        profile_movies = {r.movie for r in corpus.profile(5)}
+        assert all(obs.movie in profile_movies for obs in aux)
+
+    def test_noise_bounds(self, corpus):
+        aux = auxiliary_knowledge(corpus, 5, known=4, star_error=1, day_error=7, rng=2)
+        by_movie = {r.movie: r for r in corpus.profile(5)}
+        for obs in aux:
+            true = by_movie[obs.movie]
+            assert obs.stars is not None and abs(obs.stars - true.stars) <= 1
+            assert obs.day is not None and abs(obs.day - true.day) <= 7
+
+    def test_omission(self, corpus):
+        aux = auxiliary_knowledge(
+            corpus, 5, known=4, omit_stars=1.0, omit_days=1.0, rng=3
+        )
+        assert all(obs.stars is None and obs.day is None for obs in aux)
+
+    def test_too_much_knowledge_rejected(self, corpus):
+        profile_length = len(corpus.profile(0))
+        with pytest.raises(ValueError):
+            auxiliary_knowledge(corpus, 0, known=profile_length + 1)
+
+    def test_zero_knowledge_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            auxiliary_knowledge(corpus, 0, known=0)

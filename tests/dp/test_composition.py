@@ -1,0 +1,101 @@
+"""Tests for the privacy accountant and composition bounds."""
+
+import pytest
+
+from repro.dp.composition import (
+    PrivacyAccountant,
+    PrivacySpend,
+    advanced_composition,
+    basic_composition,
+)
+
+
+class TestBasicComposition:
+    def test_sums(self):
+        spends = [PrivacySpend(0.5), PrivacySpend(0.3, delta=1e-6)]
+        epsilon, delta = basic_composition(spends)
+        assert epsilon == pytest.approx(0.8)
+        assert delta == pytest.approx(1e-6)
+
+    def test_empty(self):
+        assert basic_composition([]) == (0.0, 0.0)
+
+    def test_invalid_spend(self):
+        with pytest.raises(ValueError):
+            PrivacySpend(-0.1)
+        with pytest.raises(ValueError):
+            PrivacySpend(0.1, delta=1.0)
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_queries(self):
+        epsilon, _delta = advanced_composition(0.1, k=1_000, delta_prime=1e-6)
+        assert epsilon < 0.1 * 1_000  # sqrt(k) scaling wins
+
+    def test_formula_components(self):
+        import numpy as np
+
+        epsilon, delta = advanced_composition(0.5, k=10, delta_prime=1e-5)
+        expected = np.sqrt(2 * 10 * np.log(1e5)) * 0.5 + 10 * 0.5 * (np.e**0.5 - 1)
+        assert epsilon == pytest.approx(expected)
+        assert delta == 1e-5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.0, 10, 1e-6)
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 0, 1e-6)
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 10, 0.0)
+
+
+class TestPrivacyAccountant:
+    def test_tracks_total(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.2, label="q1")
+        accountant.spend(0.3, label="q2")
+        assert accountant.total() == (pytest.approx(0.5), 0.0)
+        assert len(accountant.spends) == 2
+
+    def test_budget_enforced(self):
+        accountant = PrivacyAccountant(epsilon_budget=0.5)
+        accountant.spend(0.4)
+        with pytest.raises(RuntimeError):
+            accountant.spend(0.2)
+        # The failed spend must not have been recorded.
+        assert accountant.total()[0] == pytest.approx(0.4)
+
+    def test_delta_budget_enforced(self):
+        accountant = PrivacyAccountant(delta_budget=1e-6)
+        with pytest.raises(RuntimeError):
+            accountant.spend(0.1, delta=1e-5)
+
+    def test_remaining(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.spend(0.25)
+        assert accountant.remaining_epsilon() == pytest.approx(0.75)
+        assert PrivacyAccountant().remaining_epsilon() is None
+
+    def test_advanced_total_homogeneous(self):
+        accountant = PrivacyAccountant()
+        for _ in range(100):
+            accountant.spend(0.05)
+        advanced_epsilon, _ = accountant.advanced_total(delta_prime=1e-6)
+        basic_epsilon, _ = accountant.total()
+        assert advanced_epsilon < basic_epsilon
+
+    def test_advanced_total_rejects_heterogeneous(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.1)
+        accountant.spend(0.2)
+        with pytest.raises(ValueError):
+            accountant.advanced_total()
+
+    def test_advanced_total_empty(self):
+        assert PrivacyAccountant().advanced_total() == (0.0, 0.0)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(epsilon_budget=0.0)
+        with pytest.raises(ValueError):
+            PrivacyAccountant(delta_budget=1.0)

@@ -1,0 +1,86 @@
+"""Tests for the Laplace and geometric mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import bernoulli_distribution
+from repro.dp.laplace import GeometricMechanism, LaplaceMechanism, private_count
+
+
+class TestLaplaceMechanism:
+    def test_scale(self):
+        assert LaplaceMechanism(0.5, sensitivity=2.0).scale == pytest.approx(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(0.0)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0, sensitivity=0.0)
+
+    def test_release_is_noisy_but_centered(self):
+        mechanism = LaplaceMechanism(1.0)
+        releases = mechanism.release_many(100.0, 5_000, rng=0)
+        assert np.mean(releases) == pytest.approx(100.0, abs=0.1)
+        assert np.std(releases) == pytest.approx(np.sqrt(2.0), abs=0.1)
+
+    def test_release_deterministic_under_seed(self):
+        mechanism = LaplaceMechanism(1.0)
+        assert mechanism.release(5.0, rng=3) == mechanism.release(5.0, rng=3)
+
+    def test_expected_absolute_error(self):
+        mechanism = LaplaceMechanism(2.0)
+        releases = mechanism.release_many(0.0, 20_000, rng=1)
+        assert np.mean(np.abs(releases)) == pytest.approx(
+            mechanism.expected_absolute_error(), rel=0.05
+        )
+
+    def test_error_quantile(self):
+        mechanism = LaplaceMechanism(1.0)
+        bound = mechanism.error_quantile(0.95)
+        releases = mechanism.release_many(0.0, 20_000, rng=2)
+        within = np.mean(np.abs(releases) <= bound)
+        assert within == pytest.approx(0.95, abs=0.01)
+
+    def test_error_quantile_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0).error_quantile(1.0)
+
+    def test_release_many_validation(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0).release_many(0.0, 0)
+
+
+class TestGeometricMechanism:
+    def test_integer_output(self):
+        mechanism = GeometricMechanism(1.0)
+        assert isinstance(mechanism.release(10, rng=0), int)
+
+    def test_centered(self):
+        mechanism = GeometricMechanism(1.0)
+        rng = np.random.default_rng(1)
+        releases = [mechanism.release(50, rng) for _ in range(5_000)]
+        assert np.mean(releases) == pytest.approx(50.0, abs=0.2)
+
+    def test_smaller_epsilon_more_noise(self):
+        rng_a, rng_b = np.random.default_rng(2), np.random.default_rng(2)
+        tight = [GeometricMechanism(2.0).release(0, rng_a) for _ in range(2_000)]
+        loose = [GeometricMechanism(0.2).release(0, rng_b) for _ in range(2_000)]
+        assert np.std(loose) > np.std(tight)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GeometricMechanism(0.0)
+        with pytest.raises(ValueError):
+            GeometricMechanism(1.0, sensitivity=0)
+
+
+class TestPrivateCount:
+    def test_close_to_true_count(self):
+        data = bernoulli_distribution(0.5).sample(500, rng=0)
+        truth = data.count(lambda r: r["bit"] == 1)
+        rng = np.random.default_rng(1)
+        estimates = [
+            private_count(data, lambda r: r["bit"] == 1, epsilon=1.0, rng=rng)
+            for _ in range(300)
+        ]
+        assert np.mean(estimates) == pytest.approx(truth, abs=0.5)

@@ -1,0 +1,122 @@
+"""Tests for Gaussian, randomized-response, and exponential mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.exponential import ExponentialMechanism
+from repro.dp.gaussian import GaussianMechanism
+from repro.dp.randomized_response import RandomizedResponse
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        mechanism = GaussianMechanism(1.0, 1e-5, sensitivity=1.0)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-5))
+        assert mechanism.sigma == pytest.approx(expected)
+
+    def test_smaller_delta_more_noise(self):
+        loose = GaussianMechanism(1.0, 1e-3)
+        tight = GaussianMechanism(1.0, 1e-9)
+        assert tight.sigma > loose.sigma
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(2.0, 1e-5)  # classical calibration needs eps <= 1
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.5, 0.0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(0.5, 1e-5, sensitivity=0.0)
+
+    def test_release_centered(self):
+        mechanism = GaussianMechanism(1.0, 1e-5)
+        releases = mechanism.release_many(42.0, 20_000, rng=0)
+        assert np.mean(releases) == pytest.approx(42.0, abs=0.2)
+        assert np.std(releases) == pytest.approx(mechanism.sigma, rel=0.05)
+
+    def test_release_many_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, 1e-5).release_many(0.0, 0)
+
+
+class TestRandomizedResponse:
+    def test_truth_probability(self):
+        rr = RandomizedResponse(np.log(3))
+        assert rr.truth_probability == pytest.approx(0.75)
+
+    def test_release_is_binary(self):
+        rr = RandomizedResponse(1.0)
+        out = rr.release(np.array([0, 1, 1, 0]), rng=0)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_flip_rate_matches(self):
+        rr = RandomizedResponse(1.0)
+        bits = np.ones(20_000, dtype=int)
+        out = rr.release(bits, rng=1)
+        kept = out.mean()
+        assert kept == pytest.approx(rr.truth_probability, abs=0.01)
+
+    def test_estimator_unbiased(self):
+        rr = RandomizedResponse(1.0)
+        bits = np.array([1] * 300 + [0] * 700)
+        rng = np.random.default_rng(2)
+        estimates = [rr.estimate_count(rr.release(bits, rng)) for _ in range(400)]
+        assert np.mean(estimates) == pytest.approx(300, abs=10)
+
+    def test_estimator_standard_error_decreases_with_epsilon(self):
+        assert RandomizedResponse(2.0).estimator_standard_error(1000) < RandomizedResponse(
+            0.5
+        ).estimator_standard_error(1000)
+
+    def test_non_binary_rejected(self):
+        rr = RandomizedResponse(1.0)
+        with pytest.raises(ValueError):
+            rr.release(np.array([0, 2]))
+        with pytest.raises(ValueError):
+            rr.estimate_count(np.array([0, 2]))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(0.0)
+
+    def test_empty_responses_rejected(self):
+        with pytest.raises(ValueError):
+            RandomizedResponse(1.0).estimate_count(np.array([], dtype=int))
+
+
+class TestExponentialMechanism:
+    def test_probabilities_favor_high_scores(self):
+        mechanism = ExponentialMechanism(2.0)
+        probabilities = mechanism.selection_probabilities([0.0, 5.0, 1.0])
+        assert probabilities[1] == max(probabilities)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_zero_epsilon_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(0.0)
+
+    def test_select_concentrates(self):
+        mechanism = ExponentialMechanism(8.0)
+        rng = np.random.default_rng(0)
+        picks = [
+            mechanism.select(["a", "b"], lambda c: {"a": 0.0, "b": 10.0}[c], rng)
+            for _ in range(200)
+        ]
+        assert picks.count("b") > 195
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0).select([], lambda c: 0.0)
+
+    def test_numerical_stability_with_huge_scores(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([1e6, 1e6 + 1])
+        assert np.isfinite(probabilities).all()
+
+    @given(scores=st.lists(st.floats(-100, 100), min_size=1, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_form_distribution(self, scores):
+        probabilities = ExponentialMechanism(1.0).selection_probabilities(scores)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities >= 0).all()

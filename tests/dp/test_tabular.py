@@ -1,0 +1,69 @@
+"""Tests for the DP census-table release."""
+
+import pytest
+
+from repro.data.censusblocks import CensusConfig, generate_census
+from repro.dp.tabular import dp_block_tables, dp_tabulation
+from repro.reconstruction.census_solver import reconstruct_census
+from repro.reconstruction.tabulation import tabulate_blocks
+
+
+@pytest.fixture(scope="module")
+def tables():
+    census = generate_census(CensusConfig(blocks=6, mean_block_size=12), rng=0)
+    return census, tabulate_blocks(census)
+
+
+class TestDpBlockTables:
+    def test_output_is_consistent(self, tables):
+        _census, published = tables
+        for block_tables in published.values():
+            noisy = dp_block_tables(block_tables, epsilon=1.0, rng=1)
+            # BlockTables validates internal consistency on construction; a
+            # successful build plus non-negative totals is the contract.
+            assert noisy.total >= 0
+            assert all(count >= 0 for count in noisy.sex_by_age.values())
+
+    def test_same_cells_published(self, tables):
+        _census, published = tables
+        original = next(iter(published.values()))
+        noisy = dp_block_tables(original, epsilon=1.0, rng=2)
+        assert set(noisy.sex_by_age) == set(original.sex_by_age)
+        assert set(noisy.race_by_ethnicity) == set(original.race_by_ethnicity)
+
+    def test_high_epsilon_barely_changes_counts(self, tables):
+        _census, published = tables
+        original = next(iter(published.values()))
+        noisy = dp_block_tables(original, epsilon=10_000.0, rng=3)
+        assert noisy.sex_by_age == original.sex_by_age
+
+    def test_low_epsilon_perturbs(self, tables):
+        _census, published = tables
+        original = next(iter(published.values()))
+        noisy = dp_block_tables(original, epsilon=0.5, rng=4)
+        assert noisy.sex_by_age != original.sex_by_age
+
+    def test_invalid_epsilon(self, tables):
+        _census, published = tables
+        with pytest.raises(ValueError):
+            dp_block_tables(next(iter(published.values())), epsilon=0.0)
+
+
+class TestDpTabulation:
+    def test_all_blocks_released(self, tables):
+        _census, published = tables
+        noisy = dp_tabulation(published, epsilon_per_block=1.0, rng=5)
+        assert set(noisy) == set(published)
+
+    def test_deterministic_under_seed(self, tables):
+        _census, published = tables
+        a = dp_tabulation(published, 1.0, rng=6)
+        b = dp_tabulation(published, 1.0, rng=6)
+        assert all(a[k].sex_by_age == b[k].sex_by_age for k in a)
+
+    def test_reconstruction_degrades_with_noise(self, tables):
+        census, published = tables
+        exact = reconstruct_census(published, truth=census).exact_match_fraction
+        noisy_tables = dp_tabulation(published, epsilon_per_block=1.0, rng=7)
+        noisy = reconstruct_census(noisy_tables, truth=census).exact_match_fraction
+        assert noisy < exact

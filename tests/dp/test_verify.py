@@ -1,0 +1,77 @@
+"""Tests for the empirical DP verifier."""
+
+import numpy as np
+import pytest
+
+from repro.dp.laplace import LaplaceMechanism
+from repro.dp.verify import verify_dp
+
+
+def _count_mechanism(epsilon):
+    mechanism = LaplaceMechanism(epsilon)
+    return lambda data, rng: mechanism.release(float(np.sum(data)), rng)
+
+
+X = np.array([1, 1, 0, 1])
+X_PRIME = np.array([1, 1, 0, 0])
+
+
+class TestVerifyDp:
+    def test_laplace_consistent(self):
+        verdict = verify_dp(_count_mechanism(1.0), X, X_PRIME, epsilon=1.0, trials=3_000, rng=0)
+        assert verdict.consistent
+
+    def test_exact_count_violates(self):
+        verdict = verify_dp(
+            lambda data, rng: float(np.sum(data)), X, X_PRIME, epsilon=1.0, trials=2_000, rng=1
+        )
+        assert not verdict.consistent
+
+    def test_underclaimed_epsilon_flagged(self):
+        # A Laplace mechanism calibrated for eps=4 is NOT 0.05-DP; the
+        # verifier should catch the gap with enough samples.
+        verdict = verify_dp(
+            _count_mechanism(4.0), X, X_PRIME, epsilon=0.05, trials=8_000, rng=2
+        )
+        assert not verdict.consistent
+
+    def test_custom_events(self):
+        events = [("big output", lambda value: value > 2.5)]
+        verdict = verify_dp(
+            _count_mechanism(1.0), X, X_PRIME, epsilon=1.0,
+            events=events, trials=2_000, rng=3,
+        )
+        assert len(verdict.checks) == 1
+        assert verdict.checks[0].label == "big output"
+
+    def test_non_numeric_outputs_need_events(self):
+        with pytest.raises(TypeError):
+            verify_dp(
+                lambda data, rng: "category", X, X_PRIME, epsilon=1.0, trials=50, rng=4
+            )
+
+    def test_non_numeric_with_events_works(self):
+        verdict = verify_dp(
+            lambda data, rng: "a" if rng.random() < 0.5 else "b",
+            X,
+            X_PRIME,
+            epsilon=1.0,
+            events=[("is a", lambda value: value == "a")],
+            trials=500,
+            rng=5,
+        )
+        assert verdict.consistent
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            verify_dp(_count_mechanism(1.0), X, X_PRIME, epsilon=0.0)
+        with pytest.raises(ValueError):
+            verify_dp(_count_mechanism(1.0), X, X_PRIME, epsilon=1.0, trials=0)
+
+    def test_max_observed_log_ratio_finite(self):
+        verdict = verify_dp(_count_mechanism(1.0), X, X_PRIME, epsilon=1.0, trials=1_000, rng=6)
+        assert np.isfinite(verdict.max_observed_log_ratio)
+
+    def test_str_mentions_verdict(self):
+        verdict = verify_dp(_count_mechanism(1.0), X, X_PRIME, epsilon=1.0, trials=500, rng=7)
+        assert "eps=1.0" in str(verdict)

@@ -1,0 +1,122 @@
+"""Acceptance tests: every experiment runs (quick scale) and its headline
+numbers land in the paper-consistent range.
+
+These are the repository's reproduction gates: a regression that flips who
+wins an experiment fails here, not just in the benchmark report.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
+
+
+class TestReconstructionExperiments:
+    def test_e1_exhaustive(self):
+        result = run_experiment("E1", quick=True)
+        assert result.headline["min_agreement_at_small_c"] >= 0.95
+
+    def test_e2_lp(self):
+        result = run_experiment("E2", quick=True)
+        assert result.headline["min_agreement_at_c_half"] >= 0.9
+
+    def test_e3_tradeoff_shape(self):
+        result = run_experiment("E3", quick=True)
+        # Low noise: reconstruction; linear noise: defense.
+        assert result.headline["agreement_below_half_sqrt_n"] >= 0.9
+        assert result.headline["agreement_at_linear_noise"] <= 0.8
+
+
+class TestReidentificationExperiments:
+    def test_e4_uniqueness(self):
+        result = run_experiment("E4", quick=True)
+        assert result.headline["unique_fraction_full_triple"] >= 0.9
+
+    def test_e5_linkage(self):
+        result = run_experiment("E5", quick=True)
+        assert result.headline["reidentified_rate_raw_release"] >= 0.7
+
+    def test_e6_fingerprint(self):
+        result = run_experiment("E6", quick=True)
+        assert result.headline["recall_with_8_known_ratings"] >= 0.8
+
+    def test_e7_census(self):
+        result = run_experiment("E7", quick=True)
+        assert result.headline["exact_reconstruction_fraction"] >= 0.25
+        assert result.headline["reidentified_rate"] >= 0.05
+
+
+class TestPsoExperiments:
+    def test_e8_baseline(self):
+        result = run_experiment("E8", quick=True)
+        assert result.headline["measured_isolation_at_w_1_over_n"] == pytest.approx(
+            0.37, abs=0.08
+        )
+
+    def test_e9_counts_secure(self):
+        result = run_experiment("E9", quick=True)
+        assert result.headline["count_mechanisms_worst_success"] <= 0.05
+        assert result.headline["identity_mechanism_success"] >= 0.9
+
+    def test_e10_composition_wins(self):
+        result = run_experiment("E10", quick=True)
+        assert result.headline["min_success_across_sizes"] >= 0.3
+
+    def test_e11_dp_defends(self):
+        result = run_experiment("E11", quick=True)
+        assert result.headline["attack_success_exact_counts"] >= 0.3
+        assert result.headline["attack_success_dp_eps2"] <= 0.1
+
+    def test_e12_kanon_fails(self):
+        result = run_experiment("E12", quick=True)
+        refinement = result.headline["refinement_success"]
+        assert any(success >= 0.2 for success in refinement.values())
+        assert result.headline["cohen_singleton_success"] >= 0.8
+
+
+def test_experiments_are_deterministic():
+    a = run_experiment("E4", seed=3, quick=True)
+    b = run_experiment("E4", seed=3, quick=True)
+    assert a.headline == b.headline
+
+
+class TestExtensionExperiments:
+    def test_e13_intersection(self):
+        result = run_experiment("E13", quick=True)
+        assert result.headline["max_gain_over_single_release"] > 0.0
+        assert result.headline["combined_disclosure_at_k4"] > 0.0
+
+    def test_e14_secret_sharer(self):
+        result = run_experiment("E14", quick=True)
+        assert result.headline["exposure_bits_control"] <= 2.0
+        assert result.headline["exposure_bits_4_insertions"] >= 10.0
+        assert result.headline["exposure_bits_dp_eps005"] <= 4.0
+
+    def test_e15_ml_membership(self):
+        result = run_experiment("E15", quick=True)
+        assert result.headline["auc_overfit"] > result.headline["auc_generalizing"]
+        assert result.headline["auc_dp_strongest"] < result.headline["auc_overfit"]
+
+    def test_e16_genomic_membership(self):
+        result = run_experiment("E16", quick=True)
+        assert result.headline["auc_wide_panel"] >= 0.95
+        assert result.headline["auc_noisy_release"] <= 0.8
+
+
+class TestFigures:
+    def test_e3_and_e8_carry_figures(self):
+        for experiment_id, marker in (("E3", "Fundamental Law"), ("E8", "isolation probability")):
+            result = run_experiment(experiment_id, quick=True)
+            assert result.figures, f"{experiment_id} should render a figure"
+            assert any(marker in figure for figure in result.figures)
+            assert marker.split()[0] in result.render()
+
+    def test_e17_graph_deanonymization(self):
+        result = run_experiment("E17", quick=True)
+        assert result.headline["passive_uniqueness"] >= 0.9
+        assert result.headline["recovery_above_threshold"] >= 0.7
+        assert (
+            result.headline["recovery_below_threshold"]
+            < result.headline["recovery_above_threshold"]
+        )

@@ -1,0 +1,47 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import render_markdown, write_report
+from repro.experiments.runner import ExperimentResult
+from repro.utils.tables import Table
+
+
+def _result(experiment_id="EX"):
+    table = Table(["x"], title="demo")
+    table.add_row([1])
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="a title",
+        paper_claim="a claim",
+        tables=(table,),
+        headline={"metric": 0.5},
+    )
+
+
+class TestRenderMarkdown:
+    def test_contains_sections(self):
+        text = render_markdown([_result()], {"EX": 1.25})
+        assert "## EX — a title" in text
+        assert "a claim" in text
+        assert "`metric` = 0.5" in text
+        assert "demo" in text
+        assert "1.2s" in text
+
+    def test_multiple_results_in_order(self):
+        text = render_markdown(
+            [_result("A"), _result("B")], {"A": 0.1, "B": 0.2}
+        )
+        assert text.index("## A") < text.index("## B")
+
+
+class TestWriteReport:
+    def test_writes_real_experiment(self, tmp_path):
+        path = write_report(tmp_path / "report.md", ["E4"], quick=True)
+        text = path.read_text()
+        assert "## E4" in text
+        assert "unique_fraction_full_triple" in text
+
+    def test_unknown_id_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            write_report(tmp_path / "report.md", ["E99"])

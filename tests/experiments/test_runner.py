@@ -1,0 +1,48 @@
+"""Tests for the experiment registry and result type."""
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers the experiments)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentResult,
+    register,
+    run_experiment,
+)
+from repro.utils.tables import Table
+
+
+class TestRegistry:
+    def test_all_twelve_registered(self):
+        expected = {f"E{i}" for i in range(1, 13)}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("E1")(lambda seed=0, quick=False: None)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+class TestExperimentResult:
+    def test_render_includes_everything(self):
+        table = Table(["x"], title="demo")
+        table.add_row([1])
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="t",
+            paper_claim="claim text",
+            tables=(table,),
+            headline={"value": 0.37},
+        )
+        text = result.render()
+        assert "EX" in text
+        assert "claim text" in text
+        assert "value = 0.37" in text
+        assert "demo" in text
+
+    def test_str_is_render(self):
+        result = ExperimentResult("EX", "t", "c", tables=())
+        assert str(result) == result.render()

@@ -1,0 +1,75 @@
+"""Tests for the legal-derivation engine (falsifiability gate)."""
+
+import pytest
+
+from repro.core.theorems import TheoremCheck
+from repro.legal.claims import (
+    DerivationError,
+    LegalClaim,
+    ModelingAssumption,
+    TechnicalPremise,
+    derive,
+)
+
+PASSED = TheoremCheck(theorem="2.10", claim="attack works", passed=True)
+FAILED = TheoremCheck(theorem="2.10", claim="attack works", passed=False)
+
+ASSUMPTION = ModelingAssumption("A1", "PSO is weaker than GDPR singling out", "Recital 26")
+CLAIM = LegalClaim("LT-test", "k-anonymity fails the GDPR", "modus ponens over A1, T1")
+
+
+class TestTechnicalPremise:
+    def test_unverified_by_default(self):
+        premise = TechnicalPremise("T1", "attack succeeds")
+        assert not premise.established
+        assert "UNVERIFIED" in str(premise)
+
+    def test_established_with_passed_evidence(self):
+        premise = TechnicalPremise("T1", "attack succeeds", evidence=PASSED)
+        assert premise.established
+        assert "ESTABLISHED" in str(premise)
+
+    def test_refuted_with_failed_evidence(self):
+        premise = TechnicalPremise("T1", "attack succeeds", evidence=FAILED)
+        assert not premise.established
+        assert "REFUTED" in str(premise)
+
+    def test_attach_chains(self):
+        premise = TechnicalPremise("T1", "attack succeeds").attach(PASSED)
+        assert premise.established
+
+
+class TestDerive:
+    def test_derivation_with_established_premises(self):
+        verdict = derive(
+            CLAIM, [ASSUMPTION], [TechnicalPremise("T1", "x", evidence=PASSED)]
+        )
+        assert verdict.claim is CLAIM
+        assert len(verdict.assumptions) == 1
+
+    def test_refuses_unverified_premise(self):
+        with pytest.raises(DerivationError):
+            derive(CLAIM, [ASSUMPTION], [TechnicalPremise("T1", "x")])
+
+    def test_refuses_refuted_premise(self):
+        with pytest.raises(DerivationError):
+            derive(CLAIM, [ASSUMPTION], [TechnicalPremise("T1", "x", evidence=FAILED)])
+
+    def test_render_contains_everything(self):
+        verdict = derive(
+            CLAIM,
+            [ASSUMPTION],
+            [TechnicalPremise("T1", "x", evidence=PASSED)],
+            qualification="necessary only",
+        )
+        text = verdict.render()
+        assert "LT-test" in text
+        assert "A1" in text
+        assert "T1" in text
+        assert "necessary only" in text
+        assert "modus ponens" in text
+
+
+class TestModelingAssumption:
+    def test_str_cites_source(self):
+        assert "Recital 26" in str(ASSUMPTION)

@@ -1,0 +1,98 @@
+"""Tests for the HIPAA safe-harbor de-identifier."""
+
+import pytest
+
+from repro.data.population import PopulationConfig, generate_population
+from repro.legal.hipaa import (
+    SAFE_HARBOR_IDENTIFIERS,
+    is_safe_harbor_compliant,
+    safe_harbor_redact,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(PopulationConfig(size=300, zip_count=20), rng=0)
+
+
+CLASSIFICATION = {
+    "name": "names",
+    "zip": "geographic-subdivisions-smaller-than-state",
+    "birth_year": "dates-related-to-individual",
+    "birth_doy": "dates-related-to-individual",
+}
+
+
+class TestSafeHarborRedact:
+    def test_drops_names(self, population):
+        redacted = safe_harbor_redact(population, CLASSIFICATION)
+        assert "name" not in redacted.schema
+
+    def test_zip_coarsened_when_designated(self, population):
+        redacted = safe_harbor_redact(
+            population, CLASSIFICATION, zip_attribute="zip", year_attributes=("birth_year",)
+        )
+        assert all(str(value).endswith("**") for value in redacted.column("zip"))
+        assert all(len(str(value)) == 5 for value in redacted.column("zip"))
+
+    def test_year_kept_when_designated(self, population):
+        redacted = safe_harbor_redact(
+            population, CLASSIFICATION, zip_attribute="zip", year_attributes=("birth_year",)
+        )
+        assert "birth_year" in redacted.schema
+        assert "birth_doy" not in redacted.schema  # full dates still dropped
+
+    def test_zip_dropped_when_not_designated(self, population):
+        redacted = safe_harbor_redact(population, CLASSIFICATION)
+        assert "zip" not in redacted.schema
+
+    def test_unclassified_columns_survive(self, population):
+        redacted = safe_harbor_redact(population, CLASSIFICATION)
+        assert "disease" in redacted.schema
+        assert "sex" in redacted.schema
+
+    def test_unknown_category_rejected(self, population):
+        with pytest.raises(ValueError):
+            safe_harbor_redact(population, {"name": "nicknames"})
+
+    def test_unknown_attribute_rejected(self, population):
+        with pytest.raises(KeyError):
+            safe_harbor_redact(population, {"height": "names"})
+
+    def test_row_count_preserved(self, population):
+        redacted = safe_harbor_redact(
+            population, CLASSIFICATION, zip_attribute="zip", year_attributes=("birth_year",)
+        )
+        assert len(redacted) == len(population)
+
+    def test_droppable_keep_request_is_still_dropped(self, population):
+        # Designating an SSN-like column for coarsening must not keep it.
+        classification = {"name": "social-security-numbers"}
+        redacted = safe_harbor_redact(
+            population, classification, year_attributes=("name",)
+        )
+        assert "name" not in redacted.schema
+
+
+class TestCompliance:
+    def test_redacted_release_is_compliant(self, population):
+        redacted = safe_harbor_redact(
+            population, CLASSIFICATION, zip_attribute="zip", year_attributes=("birth_year",)
+        )
+        assert is_safe_harbor_compliant(redacted, CLASSIFICATION)
+
+    def test_raw_release_is_not(self, population):
+        assert not is_safe_harbor_compliant(population, CLASSIFICATION)
+
+    def test_uncoarsened_zip_is_not(self, population):
+        partially = population.drop(["name", "birth_doy"])
+        assert not is_safe_harbor_compliant(partially, CLASSIFICATION)
+
+    def test_unknown_category_rejected(self, population):
+        with pytest.raises(ValueError):
+            is_safe_harbor_compliant(population, {"name": "nicknames"})
+
+
+def test_eighteen_categories():
+    assert len(SAFE_HARBOR_IDENTIFIERS) == 18
+    assert len(set(SAFE_HARBOR_IDENTIFIERS)) == 18

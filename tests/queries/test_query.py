@@ -1,0 +1,78 @@
+"""Tests for subset queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.query import SubsetQuery, queries_to_matrix
+
+
+class TestSubsetQuery:
+    def test_true_answer(self):
+        query = SubsetQuery([True, False, True, True])
+        data = np.array([1, 1, 0, 1])
+        assert query.true_answer(data) == 2
+
+    def test_from_indices(self):
+        query = SubsetQuery.from_indices([0, 3], n=5)
+        assert query.size == 2
+        assert list(query.indices()) == [0, 3]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(ValueError):
+            SubsetQuery.from_indices([5], n=5)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetQuery(np.array([], dtype=bool))
+
+    def test_two_dimensional_mask_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetQuery(np.zeros((2, 2), dtype=bool))
+
+    def test_mask_is_readonly(self):
+        query = SubsetQuery([True, False])
+        with pytest.raises(ValueError):
+            query.mask[0] = False
+
+    def test_equality_and_hash(self):
+        a = SubsetQuery([True, False])
+        b = SubsetQuery([True, False])
+        c = SubsetQuery([False, True])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_wrong_data_shape_rejected(self):
+        query = SubsetQuery([True, False])
+        with pytest.raises(ValueError):
+            query.true_answer(np.array([1, 0, 1]))
+
+    def test_non_binary_data_rejected(self):
+        query = SubsetQuery([True, False])
+        with pytest.raises(ValueError):
+            query.true_answer(np.array([2, 0]))
+
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_full_query_counts_all_ones(self, bits):
+        data = np.array(bits)
+        query = SubsetQuery(np.ones(len(bits), dtype=bool))
+        assert query.true_answer(data) == sum(bits)
+
+
+class TestQueriesToMatrix:
+    def test_stacks_masks(self):
+        queries = [SubsetQuery([True, False]), SubsetQuery([True, True])]
+        matrix = queries_to_matrix(queries)
+        assert matrix.shape == (2, 2)
+        assert matrix.tolist() == [[1.0, 0.0], [1.0, 1.0]]
+
+    def test_mismatched_sizes_rejected(self):
+        queries = [SubsetQuery([True]), SubsetQuery([True, False])]
+        with pytest.raises(ValueError):
+            queries_to_matrix(queries)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            queries_to_matrix([])

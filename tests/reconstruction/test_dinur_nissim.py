@@ -1,0 +1,91 @@
+"""Tests for the exhaustive reconstruction attack."""
+
+import numpy as np
+import pytest
+
+from repro.queries.mechanism import BoundedNoiseAnswerer, ExactAnswerer, LaplaceAnswerer
+from repro.reconstruction.dinur_nissim import (
+    consistent_candidates,
+    exhaustive_reconstruction,
+)
+
+
+class TestExhaustiveReconstruction:
+    def test_exact_answers_reconstruct_perfectly(self):
+        data = np.random.default_rng(0).integers(0, 2, size=8)
+        result = exhaustive_reconstruction(ExactAnswerer(data))
+        assert result.agreement_with(data) == 1.0
+        assert result.queries_used == 2**8 - 1
+
+    def test_bounded_noise_within_theorem_bound(self):
+        rng = np.random.default_rng(1)
+        n = 10
+        alpha = n / 8.0
+        data = rng.integers(0, 2, size=n)
+        result = exhaustive_reconstruction(BoundedNoiseAnswerer(data, alpha, rng=rng))
+        # Theorem: any consistent candidate is within 4*alpha of the truth.
+        assert result.hamming_distance(data) <= 4 * alpha
+
+    def test_candidate_order_does_not_break_bound(self):
+        rng = np.random.default_rng(2)
+        n = 8
+        alpha = 1.0
+        data = rng.integers(0, 2, size=n)
+        for order in ("ascending", "descending"):
+            answerer = BoundedNoiseAnswerer(data, alpha, rng=np.random.default_rng(3))
+            result = exhaustive_reconstruction(answerer, candidate_order=order)
+            assert result.hamming_distance(data) <= 4 * alpha
+
+    def test_unknown_order_rejected(self):
+        data = np.zeros(4, dtype=int)
+        with pytest.raises(ValueError):
+            exhaustive_reconstruction(ExactAnswerer(data), candidate_order="sideways")
+
+    def test_oversized_n_rejected(self):
+        data = np.zeros(20, dtype=int)
+        with pytest.raises(ValueError):
+            exhaustive_reconstruction(ExactAnswerer(data))
+
+    def test_unbounded_error_needs_explicit_alpha(self):
+        data = np.zeros(6, dtype=int)
+        answerer = LaplaceAnswerer(data, epsilon_per_query=1.0, rng=0)
+        with pytest.raises(ValueError):
+            exhaustive_reconstruction(answerer)
+
+    def test_explicit_alpha_against_laplace(self):
+        # With a generous alpha the attack still runs against Laplace noise;
+        # it just loses accuracy.  Here n is tiny so alpha=n works.
+        data = np.array([1, 0, 1, 0, 1, 0])
+        answerer = LaplaceAnswerer(data, epsilon_per_query=5.0, rng=1)
+        result = exhaustive_reconstruction(answerer, alpha=3.0)
+        assert result.reconstruction.shape == data.shape
+
+    def test_agreement_shape_mismatch(self):
+        data = np.zeros(4, dtype=int)
+        result = exhaustive_reconstruction(ExactAnswerer(data))
+        with pytest.raises(ValueError):
+            result.agreement_with(np.zeros(5, dtype=int))
+
+
+class TestConsistentCandidates:
+    def test_exact_answers_give_unique_candidate(self):
+        data = np.array([1, 0, 1, 1, 0, 0, 1])
+        candidates = consistent_candidates(ExactAnswerer(data))
+        assert len(candidates) == 1
+        assert np.array_equal(candidates[0], data)
+
+    def test_all_candidates_in_hamming_ball(self):
+        rng = np.random.default_rng(4)
+        n = 8
+        alpha = 1.5
+        data = rng.integers(0, 2, size=n)
+        candidates = consistent_candidates(
+            BoundedNoiseAnswerer(data, alpha, rng=rng), alpha=alpha
+        )
+        assert candidates  # the truth is always consistent
+        for candidate in candidates:
+            assert int((candidate != data).sum()) <= 4 * alpha
+
+    def test_cap_enforced(self):
+        with pytest.raises(ValueError):
+            consistent_candidates(ExactAnswerer(np.zeros(18, dtype=int)))

@@ -1,0 +1,95 @@
+"""Tests for LP-decoding reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.queries.mechanism import BoundedNoiseAnswerer, ExactAnswerer, LaplaceAnswerer
+from repro.queries.workload import random_subset_queries
+from repro.reconstruction.lp_decode import lp_reconstruction, reconstruct_from_answers
+
+
+class TestLpReconstruction:
+    def test_exact_answers_near_perfect(self):
+        data = np.random.default_rng(0).integers(0, 2, size=64)
+        result = lp_reconstruction(ExactAnswerer(data), rng=1)
+        assert result.agreement_with(data) >= 0.98
+        assert result.mode == "feasibility"
+
+    def test_sqrt_n_noise_blatant_nonprivacy(self):
+        rng = np.random.default_rng(2)
+        n = 128
+        data = rng.integers(0, 2, size=n)
+        answerer = BoundedNoiseAnswerer(data, alpha=0.5 * np.sqrt(n), rng=rng)
+        result = lp_reconstruction(answerer, rng=3)
+        assert result.agreement_with(data) >= 0.95  # the paper's 95% bar
+
+    def test_linear_noise_defends(self):
+        rng = np.random.default_rng(4)
+        n = 128
+        data = rng.integers(0, 2, size=n)
+        answerer = BoundedNoiseAnswerer(data, alpha=n / 2.0, rng=rng)
+        result = lp_reconstruction(answerer, rng=5)
+        assert result.agreement_with(data) <= 0.85
+
+    def test_laplace_auto_selects_least_l1(self):
+        data = np.random.default_rng(6).integers(0, 2, size=32)
+        answerer = LaplaceAnswerer(data, epsilon_per_query=0.5, rng=7)
+        result = lp_reconstruction(answerer, num_queries=128, rng=8)
+        assert result.mode == "least-l1"
+        assert np.isnan(result.alpha)
+
+    def test_explicit_mode(self):
+        data = np.random.default_rng(9).integers(0, 2, size=32)
+        result = lp_reconstruction(
+            ExactAnswerer(data), mode="least-l1", num_queries=160, rng=10
+        )
+        assert result.mode == "least-l1"
+        assert result.agreement_with(data) >= 0.95
+
+    def test_unknown_mode_rejected(self):
+        data = np.zeros(8, dtype=int)
+        with pytest.raises(ValueError):
+            lp_reconstruction(ExactAnswerer(data), mode="magic")
+
+    def test_invalid_query_count(self):
+        data = np.zeros(8, dtype=int)
+        with pytest.raises(ValueError):
+            lp_reconstruction(ExactAnswerer(data), num_queries=0)
+
+    def test_fractional_solution_in_unit_cube(self):
+        data = np.random.default_rng(11).integers(0, 2, size=32)
+        result = lp_reconstruction(ExactAnswerer(data), rng=12)
+        assert (result.fractional >= 0).all() and (result.fractional <= 1).all()
+
+    def test_hamming_distance(self):
+        data = np.random.default_rng(13).integers(0, 2, size=32)
+        result = lp_reconstruction(ExactAnswerer(data), rng=14)
+        assert result.hamming_distance(data) == int(
+            round((1 - result.agreement_with(data)) * 32)
+        )
+
+
+class TestReconstructFromAnswers:
+    def test_replayed_transcript(self):
+        rng = np.random.default_rng(15)
+        n = 48
+        data = rng.integers(0, 2, size=n)
+        queries = random_subset_queries(n, 8 * n, rng=rng)
+        answerer = ExactAnswerer(data)
+        answers = answerer.answer_all(queries)
+        result = reconstruct_from_answers(queries, answers, alpha=0.0)
+        assert result.agreement_with(data) >= 0.98
+
+    def test_answers_alignment_checked(self):
+        queries = random_subset_queries(10, 5, rng=0)
+        with pytest.raises(ValueError):
+            reconstruct_from_answers(queries, np.zeros(4))
+
+    def test_no_alpha_uses_least_l1(self):
+        rng = np.random.default_rng(16)
+        n = 32
+        data = rng.integers(0, 2, size=n)
+        queries = random_subset_queries(n, 6 * n, rng=rng)
+        answers = ExactAnswerer(data).answer_all(queries)
+        result = reconstruct_from_answers(queries, answers)
+        assert result.mode == "least-l1"

@@ -1,0 +1,66 @@
+"""Tests for the curated top-level API."""
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_game_flow_via_top_level(self):
+        from repro.data.distributions import uniform_bits_distribution
+
+        game = repro.PSOGame(
+            uniform_bits_distribution(16),
+            50,
+            repro.ConstantMechanism(),
+            repro.TrivialAttacker("negligible"),
+        )
+        result = game.run(10, rng=0)
+        assert result.success.trials == 10
+
+    def test_all_is_sorted(self):
+        symbols = list(repro.__all__)
+        assert symbols == sorted(symbols)
+
+    def test_subpackages_importable(self):
+        import importlib
+
+        for name in (
+            "repro.utils",
+            "repro.data",
+            "repro.queries",
+            "repro.dp",
+            "repro.anonymity",
+            "repro.reconstruction",
+            "repro.core",
+            "repro.attacks",
+            "repro.legal",
+            "repro.lm",
+            "repro.ml",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} is missing a module docstring"
+
+    def test_subpackage_all_symbols_resolve(self):
+        import importlib
+
+        for name in (
+            "repro.utils",
+            "repro.data",
+            "repro.queries",
+            "repro.dp",
+            "repro.anonymity",
+            "repro.core",
+            "repro.attacks",
+            "repro.legal",
+            "repro.reconstruction",
+        ):
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), f"{name}.{symbol}"

@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.utils.plots import ascii_chart, ascii_overlay
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart([0, 1, 2], [0.0, 0.5, 1.0], title="t", x_label="x", y_label="y")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert "*" in chart
+        assert "x: x" in chart and "y: y" in chart
+
+    def test_tick_labels(self):
+        chart = ascii_chart([0, 10], [0.25, 0.75])
+        assert "0.75" in chart and "0.25" in chart  # y ticks
+        assert "10" in chart  # x tick
+
+    def test_monotone_curve_descends(self):
+        # A decreasing curve must put its first point above its last.
+        chart = ascii_chart([0, 1, 2, 3], [1.0, 0.7, 0.4, 0.1], height=8, width=20)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        first_star_row = min(i for i, line in enumerate(lines) if "*" in line)
+        last_star_row = max(i for i, line in enumerate(lines) if "*" in line)
+        first_column = lines[first_star_row].index("*")
+        last_column = lines[last_star_row].index("*")
+        assert first_column < last_column  # high-left, low-right
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart([0, 1], [0.5, 0.5])
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0], [1])
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], [1])
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], [0, 1], width=5)
+
+
+class TestAsciiOverlay:
+    def test_legend_and_markers(self):
+        chart = ascii_overlay(
+            [0, 1, 2],
+            [("theory", [0.1, 0.2, 0.3], "o"), ("measured", [0.12, 0.18, 0.33], "*")],
+        )
+        assert "o = theory" in chart
+        assert "* = measured" in chart
+        assert "o" in chart and "*" in chart
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_overlay([0, 1], [("a", [1], "o")])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_overlay([0, 1], [])

@@ -1,0 +1,88 @@
+"""Tests for RNG plumbing: determinism, independence, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        a = ensure_rng(sequence)
+        assert isinstance(a, np.random.Generator)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_deterministic_from_int(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(5, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(5, 4)]
+        assert a == b
+
+    def test_streams_are_distinct(self):
+        streams = spawn_rngs(0, 8)
+        draws = {int(g.integers(0, 2**62)) for g in streams}
+        assert len(draws) == 8
+
+    def test_count_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawning_from_generator_draws_children(self):
+        parent = np.random.default_rng(3)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+        values = {int(c.integers(0, 2**62)) for c in children}
+        assert len(values) == 3
+
+
+class TestDeriveRng:
+    def test_same_labels_same_stream(self):
+        a = derive_rng(0, "mechanism").integers(0, 10**9)
+        b = derive_rng(0, "mechanism").integers(0, 10**9)
+        assert a == b
+
+    def test_different_labels_different_streams(self):
+        a = derive_rng(0, "mechanism").integers(0, 10**9)
+        b = derive_rng(0, "adversary").integers(0, 10**9)
+        assert a != b
+
+    def test_different_seeds_different_streams(self):
+        a = derive_rng(0, "x").integers(0, 10**9)
+        b = derive_rng(1, "x").integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert derive_rng(generator, "anything") is generator
+
+    def test_multiple_labels(self):
+        a = derive_rng(0, "e1", 128, 0.5).integers(0, 10**9)
+        b = derive_rng(0, "e1", 128, 0.5).integers(0, 10**9)
+        c = derive_rng(0, "e1", 128, 0.25).integers(0, 10**9)
+        assert a == b
+        assert a != c
