@@ -20,15 +20,73 @@ exact manipulation the Theorem 2.10 attacker performs.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Callable, Hashable, Mapping
 
-from repro.data.dataset import Record
+import numpy as np
+
+from repro.data.dataset import Dataset, Record
 from repro.data.distributions import ProductDistribution
-from repro.utils.rng import RngSeed, ensure_rng
+from repro.utils.rng import RngSeed, derive_rng, ensure_rng
 from repro.utils.stats import clopper_pearson_interval
 
 #: Structural form: attribute name -> frozenset of allowed raw values.
 AttributeConditions = Mapping[str, frozenset]
+
+
+# -- Monte-Carlo weight-bound cache ------------------------------------------------
+#
+# Repeated PSO trials against the same adversary keep asking for the weight
+# bound of equivalent predicates, and the Monte-Carlo route re-samples
+# 4k-20k records every time.  The cache below memoizes that route, keyed by
+# predicate identity (its description), distribution identity
+# (:meth:`ProductDistribution.cache_token`), and the sampling parameters.
+# Cached values are computed with an RNG *derived from the key*, so each
+# value is a pure function of its key: serial, threaded, and multi-process
+# runs agree bit-for-bit no matter which worker populated the cache first.
+
+_WEIGHT_BOUND_CACHE: OrderedDict[tuple, float] = OrderedDict()
+_WEIGHT_BOUND_CACHE_LOCK = threading.Lock()
+_WEIGHT_BOUND_CACHE_MAX = 4096
+_WEIGHT_BOUND_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_weight_bound_cache() -> None:
+    """Empty the Monte-Carlo weight-bound cache and reset its counters."""
+    with _WEIGHT_BOUND_CACHE_LOCK:
+        _WEIGHT_BOUND_CACHE.clear()
+        _WEIGHT_BOUND_CACHE_STATS["hits"] = 0
+        _WEIGHT_BOUND_CACHE_STATS["misses"] = 0
+
+
+def weight_bound_cache_info() -> dict[str, int]:
+    """Cache statistics: ``{"hits", "misses", "size"}`` (for benchmarks/tests)."""
+    with _WEIGHT_BOUND_CACHE_LOCK:
+        return {
+            "hits": _WEIGHT_BOUND_CACHE_STATS["hits"],
+            "misses": _WEIGHT_BOUND_CACHE_STATS["misses"],
+            "size": len(_WEIGHT_BOUND_CACHE),
+        }
+
+
+def _cache_get(key: tuple) -> float | None:
+    with _WEIGHT_BOUND_CACHE_LOCK:
+        value = _WEIGHT_BOUND_CACHE.get(key)
+        if value is None:
+            _WEIGHT_BOUND_CACHE_STATS["misses"] += 1
+            return None
+        _WEIGHT_BOUND_CACHE.move_to_end(key)
+        _WEIGHT_BOUND_CACHE_STATS["hits"] += 1
+        return value
+
+
+def _cache_put(key: tuple, value: float) -> None:
+    with _WEIGHT_BOUND_CACHE_LOCK:
+        _WEIGHT_BOUND_CACHE[key] = value
+        _WEIGHT_BOUND_CACHE.move_to_end(key)
+        while len(_WEIGHT_BOUND_CACHE) > _WEIGHT_BOUND_CACHE_MAX:
+            _WEIGHT_BOUND_CACHE.popitem(last=False)
 
 
 class Predicate:
@@ -70,6 +128,35 @@ class Predicate:
 
     def __call__(self, record: Record) -> bool:
         return bool(self._fn(record))
+
+    def match_mask(self, dataset: Dataset) -> np.ndarray:
+        """Boolean mask of matching rows — the batched evaluation path.
+
+        Structural predicates evaluate column-wise without building
+        :class:`Record` objects; conjunctions narrow the candidate set
+        conjunct by conjunct, so expensive opaque conjuncts (hash
+        refinements) only ever run on the few rows their structural
+        siblings left alive; opaque predicates fall back to the function,
+        applied only to still-candidate rows.
+        """
+        mask = np.ones(len(dataset), dtype=bool)
+        self._narrow(dataset, mask)
+        return mask
+
+    def _narrow(self, dataset: Dataset, mask: np.ndarray) -> None:
+        """Clear mask entries for rows this predicate rejects (in place)."""
+        if self.conditions is not None:
+            mask &= dataset.conditions_mask(self.conditions)
+            return
+        if self.components:
+            for component in self.components:
+                if not mask.any():
+                    return
+                component._narrow(dataset, mask)
+            return
+        for index in np.flatnonzero(mask):
+            if not self._fn(dataset[int(index)]):
+                mask[index] = False
 
     def __and__(self, other: "Predicate") -> "Predicate":
         """Conjunction; merges structure and analytic weights when sound.
@@ -127,6 +214,7 @@ class Predicate:
         samples: int = 20_000,
         confidence: float = 0.999,
         rng: RngSeed = None,
+        cache: bool = True,
     ) -> float:
         """A safe *upper bound* on ``w_D(p)`` for negligibility claims.
 
@@ -136,6 +224,14 @@ class Predicate:
         by the weight of p"); Monte-Carlo weights are replaced by their
         Clopper-Pearson upper confidence bound, so a lucky all-zeros sample
         cannot masquerade as weight zero.
+
+        The Monte-Carlo route is memoized (``cache=True``) under a key of
+        predicate description + distribution identity + sampling
+        parameters, and the cached estimate is drawn with a key-derived
+        RNG; ``rng`` only steers the computation when ``cache=False`` (or
+        when the distribution exposes no identity token).  Key-derived
+        sampling makes each cached value a pure function of its key, which
+        is what keeps parallel and serial game runs bit-identical.
         """
         if self.conditions is not None:
             return distribution.conjunction_weight(self.conditions)
@@ -143,13 +239,23 @@ class Predicate:
             return self.analytic_weight
         if self.components:
             return min(
-                component.weight_bound(distribution, samples, confidence, rng)
+                component.weight_bound(distribution, samples, confidence, rng, cache)
                 for component in self.components
             )
-        generator = ensure_rng(rng)
+        key: tuple | None = None
+        if cache:
+            distribution_token = getattr(distribution, "cache_token", None)
+            if distribution_token is not None:
+                key = (self.description, distribution_token, int(samples), float(confidence))
+                cached = _cache_get(key)
+                if cached is not None:
+                    return cached
+        generator = derive_rng(0, "weight-bound", key) if key is not None else ensure_rng(rng)
         data = distribution.sample(samples, generator)
-        successes = data.count(self)
+        successes = data.match_count(self)
         _lower, upper = clopper_pearson_interval(successes, samples, confidence)
+        if key is not None:
+            _cache_put(key, upper)
         return upper
 
     def __repr__(self) -> str:

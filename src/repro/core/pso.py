@@ -18,6 +18,7 @@ attacker's ~37% lives here) and the weight-condition pass rate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
@@ -28,6 +29,7 @@ from repro.utils.negligible import (
     baseline_isolation_probability,
     negligible_weight_threshold,
 )
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import RngSeed, spawn_rngs
 from repro.utils.stats import BinomialEstimate, estimate_proportion
 
@@ -72,8 +74,6 @@ class PSOContext:
     @property
     def heavy_threshold(self) -> float:
         """The finite-n floor for heavy-mode predicate weights."""
-        import math
-
         return min(1.0, self.heavy_coefficient * math.log(self.n) / self.n)
 
     def weight_qualifies(self, weight: float) -> bool:
@@ -212,13 +212,7 @@ class PSOGame:
                 weight_negligible=False,
                 abstained=True,
             )
-        matches = 0
-        for record in data:
-            if predicate(record):
-                matches += 1
-                if matches > 1:
-                    break
-        isolated = matches == 1
+        isolated = data.match_count(predicate) == 1
         weight_bound = predicate.weight_bound(
             self.context.distribution, samples=self.weight_samples, rng=weight_rng
         )
@@ -229,12 +223,29 @@ class PSOGame:
             abstained=False,
         )
 
-    def run(self, trials: int, rng: RngSeed = None) -> PSOGameResult:
-        """Play ``trials`` independent games and aggregate."""
+    def run(
+        self,
+        trials: int,
+        rng: RngSeed = None,
+        jobs: int = 1,
+        backend: str = "auto",
+    ) -> PSOGameResult:
+        """Play ``trials`` independent games and aggregate.
+
+        Args:
+            trials: number of independent games.
+            rng: master seed; it fans out into one stream per trial.
+            jobs: worker count for trial execution (``1`` = in-process
+                serial loop; ``-1`` = all cores).  For a fixed ``rng`` the
+                result is bit-identical for every ``jobs`` value and
+                backend — trials are pure functions of their spawned
+                stream, and work-splitting is deterministic.
+            backend: executor backend (see :mod:`repro.utils.parallel`).
+        """
         if trials <= 0:
             raise ValueError("trials must be positive")
         streams = spawn_rngs(rng, trials)
-        outcomes = tuple(self.run_trial(stream) for stream in streams)
+        outcomes = tuple(parallel_map(self.run_trial, streams, jobs=jobs, backend=backend))
         return PSOGameResult(
             mechanism_name=self.mechanism.name,
             adversary_name=self.adversary.name,

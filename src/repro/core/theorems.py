@@ -35,6 +35,7 @@ from repro.core.pso import PSOGame, PSOGameResult
 from repro.data.distributions import uniform_bits_distribution
 from repro.dp.laplace import LaplaceMechanism
 from repro.dp.verify import verify_dp
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import RngSeed, derive_rng
 
 
@@ -74,6 +75,7 @@ def check_count_mechanism_pso_security(
     width: int = 64,
     trials: int = 150,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Theorem 2.5: the counting mechanism M#q prevents predicate singling out.
 
@@ -87,7 +89,7 @@ def check_count_mechanism_pso_security(
     passed = True
     for preset in ("negligible", "optimal"):
         game = PSOGame(distribution, n, mechanism, TrivialAttacker(preset))
-        result = game.run(trials, derive_rng(rng, "thm2.5", preset))
+        result = game.run(trials, derive_rng(rng, "thm2.5", preset), jobs=jobs)
         results[f"success[{preset}]"] = str(result.success)
         passed = passed and result.success.estimate <= _secure_upper_bound(result)
     return TheoremCheck(
@@ -103,6 +105,7 @@ def check_post_processing_robustness(
     width: int = 64,
     trials: int = 150,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Theorem 2.6: post-processing preserves security against PSO.
 
@@ -113,7 +116,7 @@ def check_post_processing_robustness(
     base = CountMechanism(hash_bit_predicate("thm2.6-q", 0))
     processed = PostProcessedMechanism(base, lambda count: count % 2, label="parity")
     game = PSOGame(distribution, n, processed, TrivialAttacker("negligible"))
-    result = game.run(trials, derive_rng(rng, "thm2.6"))
+    result = game.run(trials, derive_rng(rng, "thm2.6"), jobs=jobs)
     passed = result.success.estimate <= _secure_upper_bound(result)
     return TheoremCheck(
         theorem="2.6",
@@ -129,6 +132,7 @@ def check_composition_attack(
     trials: int = 80,
     min_success: float = 0.2,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Theorem 2.8: omega(log n) count mechanisms compose to enable PSO.
 
@@ -139,7 +143,7 @@ def check_composition_attack(
     distribution = uniform_bits_distribution(width)
     suite = build_composition_suite(n)
     game = PSOGame(distribution, n, suite.mechanism, suite.adversary)
-    result = game.run(trials, derive_rng(rng, "thm2.8"))
+    result = game.run(trials, derive_rng(rng, "thm2.8"), jobs=jobs)
     passed = result.success.lower >= min_success and result.beats_baseline()
     return TheoremCheck(
         theorem="2.8",
@@ -161,6 +165,7 @@ def check_dp_implies_pso_security(
     width: int = 64,
     trials: int = 80,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Theorem 2.9: an epsilon-DP mechanism prevents predicate singling out.
 
@@ -178,7 +183,7 @@ def check_dp_implies_pso_security(
     ]
     dp_mechanism = ComposedMechanism(dp_counts)
     game = PSOGame(distribution, n, dp_mechanism, suite.adversary)
-    result = game.run(trials, derive_rng(rng, "thm2.9"))
+    result = game.run(trials, derive_rng(rng, "thm2.9"), jobs=jobs)
     passed = result.success.estimate <= _secure_upper_bound(result)
     return TheoremCheck(
         theorem="2.9",
@@ -200,6 +205,7 @@ def check_kanonymity_fails_pso(
     width: int = 128,
     trials: int = 100,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Theorem 2.10: optimizing k-anonymizers enable PSO w.p. ~37%.
 
@@ -211,7 +217,7 @@ def check_kanonymity_fails_pso(
     mechanism = KAnonymityMechanism(AgreementAnonymizer(k), label="agreement")
     adversary = KAnonymityPSOAttacker(mode="refine")
     game = PSOGame(distribution, n, mechanism, adversary)
-    result = game.run(trials, derive_rng(rng, "thm2.10"))
+    result = game.run(trials, derive_rng(rng, "thm2.10"), jobs=jobs)
     from repro.core.analysis import refinement_success_probability
 
     expected = refinement_success_probability(k)
@@ -240,6 +246,7 @@ def check_cohen_singleton_attack(
     secret_values: int = 50,
     trials: int = 80,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Cohen [12]: generalization-based k-anonymity allows PSO w.p. ~100%.
 
@@ -266,7 +273,7 @@ def check_cohen_singleton_attack(
     mechanism = KAnonymityMechanism(AgreementAnonymizer(k), label="agreement")
     adversary = KAnonymityPSOAttacker(mode="singleton")
     game = PSOGame(distribution, n, mechanism, adversary)
-    result = game.run(trials, derive_rng(rng, "cohen"))
+    result = game.run(trials, derive_rng(rng, "cohen"), jobs=jobs)
     passed = result.success.lower >= 0.8
     return TheoremCheck(
         theorem="2.10+ (Cohen [12])",
@@ -289,6 +296,7 @@ def check_ldiversity_fails_pso(
     secret_values: int = 50,
     trials: int = 60,
     rng: RngSeed = 0,
+    jobs: int = 1,
 ) -> TheoremCheck:
     """Footnote 3: the k-anonymity PSO analysis extends to l-diversity.
 
@@ -322,9 +330,8 @@ def check_ldiversity_fails_pso(
         distribution, n, KAnonymityMechanism(anonymizer, label="agreement"), adversary
     )
 
-    diverse_and_broken = 0
-    diverse_trials = 0
-    for stream in spawn_rngs(derive_rng(rng, "footnote3"), trials):
+    def footnote3_trial(stream) -> tuple[bool, bool]:
+        """One trial: (release was l-diverse, attack additionally won)."""
         data_rng, adv_rng = spawn_rngs(stream, 2)
         data = distribution.sample(n, data_rng)
         release = anonymizer.anonymize(data)
@@ -332,15 +339,20 @@ def check_ldiversity_fails_pso(
             is_k_anonymous(release, k)
             and distinct_l_diversity(release, "secret") >= l
         ):
-            continue  # this release is out of the claim's scope
-        diverse_trials += 1
+            return False, False  # this release is out of the claim's scope
         predicate = adversary.attack(release, context_game.context, adv_rng)
         if predicate is None:
-            continue
+            return True, False
         matches = data.count(predicate)
         weight = predicate.weight_bound(distribution)
-        if matches == 1 and weight <= context_game.context.weight_threshold:
-            diverse_and_broken += 1
+        won = matches == 1 and weight <= context_game.context.weight_threshold
+        return True, won
+
+    outcomes = parallel_map(
+        footnote3_trial, spawn_rngs(derive_rng(rng, "footnote3"), trials), jobs=jobs
+    )
+    diverse_trials = sum(diverse for diverse, _won in outcomes)
+    diverse_and_broken = sum(won for _diverse, won in outcomes)
 
     if diverse_trials == 0:
         return TheoremCheck(
@@ -397,15 +409,19 @@ def check_laplace_is_dp(
     )
 
 
-def run_all_checks(rng: RngSeed = 0) -> list[TheoremCheck]:
-    """Run every theorem check at default scale (the legal layer's input)."""
+def run_all_checks(rng: RngSeed = 0, jobs: int = 1) -> list[TheoremCheck]:
+    """Run every theorem check at default scale (the legal layer's input).
+
+    ``jobs`` fans each check's Monte-Carlo trials across workers; verdicts
+    and measurements are identical to a serial run for a fixed ``rng``.
+    """
     return [
         check_laplace_is_dp(rng=rng),
-        check_count_mechanism_pso_security(rng=rng),
-        check_post_processing_robustness(rng=rng),
-        check_composition_attack(rng=rng),
-        check_dp_implies_pso_security(rng=rng),
-        check_kanonymity_fails_pso(rng=rng),
-        check_cohen_singleton_attack(rng=rng),
-        check_ldiversity_fails_pso(rng=rng),
+        check_count_mechanism_pso_security(rng=rng, jobs=jobs),
+        check_post_processing_robustness(rng=rng, jobs=jobs),
+        check_composition_attack(rng=rng, jobs=jobs),
+        check_dp_implies_pso_security(rng=rng, jobs=jobs),
+        check_kanonymity_fails_pso(rng=rng, jobs=jobs),
+        check_cohen_singleton_attack(rng=rng, jobs=jobs),
+        check_ldiversity_fails_pso(rng=rng, jobs=jobs),
     ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.data.schema import Schema
 
 
@@ -95,6 +97,7 @@ class Dataset:
                 schema.validate_record(values)
             rows.append(values)
         self._rows: tuple[tuple, ...] = tuple(rows)
+        self._column_cache: dict[str, tuple] = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -131,9 +134,13 @@ class Dataset:
         return self._rows
 
     def column(self, name: str) -> tuple:
-        """All values of attribute ``name``, in row order."""
-        index = self.schema.index_of(name)
-        return tuple(row[index] for row in self._rows)
+        """All values of attribute ``name``, in row order (cached)."""
+        cached = self._column_cache.get(name)
+        if cached is None:
+            index = self.schema.index_of(name)
+            cached = tuple(row[index] for row in self._rows)
+            self._column_cache[name] = cached
+        return cached
 
     # -- relational-ish operations ----------------------------------------------
 
@@ -165,6 +172,49 @@ class Dataset:
     def count(self, condition: Callable[[Record], bool]) -> int:
         """Number of records satisfying ``condition`` (the paper's M#q)."""
         return sum(1 for row in self._rows if condition(Record(self.schema, row)))
+
+    # -- batched predicate evaluation ---------------------------------------------
+
+    def conditions_mask(self, conditions: Mapping[str, frozenset]) -> np.ndarray:
+        """Boolean row mask for a conjunction of per-attribute allowed sets.
+
+        One set-membership pass per mentioned column — no per-row
+        :class:`Record` objects, no Python call stack through predicate
+        closures.  This is the batched evaluation path for structural
+        predicates (:class:`~repro.core.predicate.Predicate` with
+        ``conditions``).
+        """
+        mask = np.ones(len(self._rows), dtype=bool)
+        for name, allowed in conditions.items():
+            if not isinstance(allowed, (set, frozenset)):
+                allowed = frozenset(allowed)
+            column = self.column(name)
+            mask &= np.fromiter(
+                (value in allowed for value in column), dtype=bool, count=len(column)
+            )
+            if not mask.any():
+                break
+        return mask
+
+    def match_mask(self, predicate: Callable[[Record], bool]) -> np.ndarray:
+        """Boolean row mask of predicate matches.
+
+        Predicates exposing a ``match_mask(dataset)`` method (structured
+        :class:`~repro.core.predicate.Predicate` instances) are evaluated
+        batched; arbitrary callables fall back to a per-record loop.
+        """
+        batched = getattr(predicate, "match_mask", None)
+        if batched is not None:
+            return batched(self)
+        return np.fromiter(
+            (bool(predicate(Record(self.schema, row))) for row in self._rows),
+            dtype=bool,
+            count=len(self._rows),
+        )
+
+    def match_count(self, predicate: Callable[[Record], bool]) -> int:
+        """``sum_i p(x_i)`` via the batched evaluation path."""
+        return int(np.count_nonzero(self.match_mask(predicate)))
 
     def replace_records(self, records: Iterable[Sequence[object]]) -> "Dataset":
         """A dataset with the same schema and new records (unvalidated schema swap)."""

@@ -127,6 +127,7 @@ class ProductDistribution:
                 raise ValueError(f"marginal for {name!r} is over the wrong domain")
         self.schema = schema
         self.marginals = {name: marginals[name] for name in schema.names}
+        self._cache_token: tuple | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -137,6 +138,27 @@ class ProductDistribution:
             schema,
             {name: AttributeDistribution.uniform(schema.attribute(name).domain) for name in schema.names},
         )
+
+    @property
+    def cache_token(self) -> tuple:
+        """A hashable identity token: schema names + full marginal tables.
+
+        Two ``ProductDistribution`` instances with identical marginals get
+        identical tokens, so caches keyed by this token (the Monte-Carlo
+        weight-bound cache in :mod:`repro.core.predicate`) deduplicate
+        across instances while distinct distributions can never collide.
+        Computed once per instance and memoized.
+        """
+        if self._cache_token is None:
+            self._cache_token = tuple(
+                (
+                    name,
+                    tuple(self.marginals[name]._values),
+                    tuple(float(p) for p in self.marginals[name]._probs),
+                )
+                for name in self.schema.names
+            )
+        return self._cache_token
 
     # -- sampling ----------------------------------------------------------------
 
@@ -196,7 +218,7 @@ class ProductDistribution:
             raise ValueError("samples must be positive")
         generator = ensure_rng(rng)
         data = self.sample(samples, generator)
-        return data.count(predicate) / samples
+        return data.match_count(predicate) / samples
 
     def min_entropy(self) -> float:
         """Min-entropy of a full record, in bits (sum of marginal min-entropies).

@@ -2,9 +2,10 @@
 
 Usage::
 
-    python -m repro.experiments            # all experiments, default scale
-    python -m repro.experiments --quick    # reduced scale
-    python -m repro.experiments E4 E12     # a subset
+    python -m repro.experiments              # all experiments, default scale
+    python -m repro.experiments --quick      # reduced scale
+    python -m repro.experiments E4 E12       # a subset
+    python -m repro.experiments --jobs 4     # fan out across 4 workers
 """
 
 from __future__ import annotations
@@ -13,13 +14,20 @@ import argparse
 import sys
 import time
 
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    registered_ids,
+    run_experiment,
+    run_experiments,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
+    known_ids = registered_ids()
+    id_range = f"{known_ids[0]}-{known_ids[-1]}" if known_ids else "none registered"
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Reproduce the paper's numeric claims (E1-E12).",
+        description=f"Reproduce the paper's numeric claims ({id_range}).",
     )
     parser.add_argument(
         "experiments",
@@ -29,27 +37,49 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced workload")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes: fan out experiment ids, or (single id) its "
+        "Monte-Carlo trials; -1 = all cores; results match --jobs 1 exactly",
+    )
+    parser.add_argument(
         "--report",
         metavar="PATH",
         help="write a markdown report to PATH instead of printing",
     )
     args = parser.parse_args(argv)
 
-    ids = args.experiments or sorted(EXPERIMENTS)
+    ids = args.experiments or known_ids
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+        parser.error(f"unknown experiments: {unknown}; known: {known_ids}")
 
     if args.report:
         from repro.experiments.report import write_report
 
-        output = write_report(args.report, ids, seed=args.seed, quick=args.quick)
+        output = write_report(
+            args.report, ids, seed=args.seed, quick=args.quick, jobs=args.jobs
+        )
         print(f"report written to {output}")
+        return 0
+
+    if args.jobs != 1 and len(ids) > 1:
+        start = time.perf_counter()
+        results = run_experiments(ids, seed=args.seed, quick=args.quick, jobs=args.jobs)
+        elapsed = time.perf_counter() - start
+        for result in results:
+            print(result.render())
+            print()
+        print(f"[{len(ids)} experiments completed in {elapsed:.1f}s, jobs={args.jobs}]")
         return 0
 
     for experiment_id in ids:
         start = time.perf_counter()
-        result = run_experiment(experiment_id, seed=args.seed, quick=args.quick)
+        result = run_experiment(
+            experiment_id, seed=args.seed, quick=args.quick, jobs=args.jobs
+        )
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")

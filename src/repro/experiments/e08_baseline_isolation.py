@@ -17,6 +17,7 @@ from repro.data.distributions import AttributeDistribution, ProductDistribution
 from repro.data.domain import IntegerDomain
 from repro.data.schema import Attribute, AttributeKind, Schema
 from repro.experiments.runner import ExperimentResult, register
+from repro.utils.parallel import parallel_map
 from repro.utils.rng import derive_rng, spawn_rngs
 from repro.utils.stats import estimate_proportion
 from repro.utils.tables import Table
@@ -33,7 +34,7 @@ def _birthday_distribution() -> ProductDistribution:
 
 
 @register("E8")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Measured vs closed-form isolation probability of trivial predicates."""
     n = 365
     trials = 400 if quick else 2_000
@@ -42,10 +43,14 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     # (a) The literal birthday example: the fixed predicate "born Apr-30"
     # (day-of-year 120), exactly as in the paper.
     fixed_predicate = attribute_predicate("birthday", 120)
-    successes = 0
-    for rng in spawn_rngs(derive_rng(seed, "e8-fixed"), trials):
+
+    def fixed_trial(rng) -> int:
         data = distribution.sample(n, rng)
-        successes += int(isolates(fixed_predicate, data))
+        return int(isolates(fixed_predicate, data))
+
+    successes = sum(
+        parallel_map(fixed_trial, spawn_rngs(derive_rng(seed, "e8-fixed"), trials), jobs=jobs)
+    )
     fixed_estimate = estimate_proportion(successes, trials)
 
     table = Table(
@@ -74,14 +79,18 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     domain_dataset = _Dataset(schema, [(v,) for v in domain_values], validate=False)
     for multiplier in (0.1, 0.5, 1.0, 2.0, 5.0):
         weight = multiplier / n
-        successes = 0
-        theory_terms = []
-        for index, rng in enumerate(spawn_rngs(derive_rng(seed, "e8", multiplier), trials)):
+
+        def hash_trial(item, multiplier=multiplier, weight=weight) -> tuple[float, int]:
+            index, rng = item
             predicate = hash_threshold_predicate(f"e8-{multiplier}-{index}", weight)
             realized = domain_dataset.count(predicate) / len(domain_values)
-            theory_terms.append(isolation_probability(n, realized))
             data = distribution.sample(n, rng)
-            successes += int(isolates(predicate, data))
+            return isolation_probability(n, realized), int(isolates(predicate, data))
+
+        streams = enumerate(spawn_rngs(derive_rng(seed, "e8", multiplier), trials))
+        outcomes = parallel_map(hash_trial, list(streams), jobs=jobs)
+        theory_terms = [theory for theory, _success in outcomes]
+        successes = sum(success for _theory, success in outcomes)
         estimate = estimate_proportion(successes, trials)
         mean_theory = sum(theory_terms) / len(theory_terms)
         table.add_row(

@@ -21,7 +21,7 @@ from repro.utils.tables import Table
 
 
 @register("E9")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """PSO game outcomes for count mechanisms and their post-processings."""
     n = 200
     width = 64
@@ -47,7 +47,9 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     ]
     for mechanism, adversary in configurations:
         game = PSOGame(distribution, n, mechanism, adversary)
-        result = game.run(trials, derive_rng(seed, "e9", mechanism.name, adversary.name))
+        result = game.run(
+            trials, derive_rng(seed, "e9", mechanism.name, adversary.name), jobs=jobs
+        )
         table.add_row(
             [
                 mechanism.name,

@@ -19,7 +19,7 @@ from repro.utils.tables import Table
 
 
 @register("E10")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Composition-attack success vs dataset size."""
     width = 64
     sizes = [128] if quick else [128, 256, 512]
@@ -40,7 +40,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     for n in sizes:
         suite = build_composition_suite(n)
         game = PSOGame(distribution, n, suite.mechanism, suite.adversary)
-        result = game.run(trials, derive_rng(seed, "e10", n))
+        result = game.run(trials, derive_rng(seed, "e10", n), jobs=jobs)
         ceiling = min(1.0, n * result.weight_threshold)
         table.add_row(
             [

@@ -28,7 +28,7 @@ from repro.utils.tables import Table
 
 
 @register("E11")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """Empirical DP verification plus the PSO game under DP releases."""
     verify_trials = 1_500 if quick else 6_000
     x = np.array([1, 0, 1, 1, 0, 1])
@@ -82,7 +82,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         f"l={suite.num_counts})",
     )
     exact_game = PSOGame(distribution, n, suite.mechanism, suite.adversary)
-    exact_result = exact_game.run(trials, derive_rng(seed, "e11-exact"))
+    exact_result = exact_game.run(trials, derive_rng(seed, "e11-exact"), jobs=jobs)
     pso_table.add_row(
         ["exact (no privacy)", "inf", str(exact_result.success),
          exact_result.isolation_rate.estimate]
@@ -94,7 +94,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
             [DPCountMechanism(m.query, per_count) for m in suite.mechanism.mechanisms]
         )
         game = PSOGame(distribution, n, dp_mechanism, suite.adversary)
-        result = game.run(trials, derive_rng(seed, "e11-dp", total_epsilon))
+        result = game.run(trials, derive_rng(seed, "e11-dp", total_epsilon), jobs=jobs)
         pso_table.add_row(
             [
                 f"Laplace, eps/l each",

@@ -42,7 +42,7 @@ def _schema_with_secret(width: int, secret_values: int = 50) -> Schema:
 
 
 @register("E12")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
     """PSO attacks on k-anonymized releases, all three measurements."""
     n = 250
     trials = 30 if quick else 80
@@ -66,7 +66,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         refine_distribution = ProductDistribution.uniform(uniform_bits_schema(width))
         mechanism = KAnonymityMechanism(AgreementAnonymizer(k), label="agreement")
         game = PSOGame(refine_distribution, n, mechanism, KAnonymityPSOAttacker("refine"))
-        result = game.run(trials, derive_rng(seed, "e12a", k))
+        result = game.run(trials, derive_rng(seed, "e12a", k), jobs=jobs)
         expected = refinement_success_probability(k)
         refine_table.add_row(
             [k, width, str(result.success), expected, result.isolation_rate.estimate]
@@ -82,7 +82,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     )
     mechanism = KAnonymityMechanism(AgreementAnonymizer(4), label="agreement")
     game = PSOGame(singleton_distribution, n, mechanism, KAnonymityPSOAttacker("singleton"))
-    singleton_result = game.run(trials, derive_rng(seed, "e12b"))
+    singleton_result = game.run(trials, derive_rng(seed, "e12b"), jobs=jobs)
     singleton_table.add_row(
         ["agreement", 4, str(singleton_result.success),
          singleton_result.isolation_rate.estimate]
@@ -98,7 +98,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     )
     mondrian = KAnonymityMechanism(MondrianAnonymizer(k=4), label="mondrian")
     game = PSOGame(ablation_distribution, n, mondrian, KAnonymityPSOAttacker("auto"))
-    ablation_result = game.run(max(10, trials // 2), derive_rng(seed, "e12c"))
+    ablation_result = game.run(max(10, trials // 2), derive_rng(seed, "e12c"), jobs=jobs)
     ablation_table.add_row(
         [
             "mondrian (all attributes generalized)",

@@ -4,13 +4,24 @@ Every experiment module registers a ``run(seed=..., quick=...)`` callable
 under its DESIGN.md identifier.  ``quick=True`` shrinks the workload for CI
 and pytest-benchmark loops; the default scale is what EXPERIMENTS.md
 records.
+
+Experiments are independent given the master seed (each derives its own
+sub-streams by id), so :func:`run_experiments` can fan experiment ids out
+across a process pool (``jobs > 1``); experiments whose ``run`` accepts a
+``jobs`` parameter additionally parallelize their inner Monte-Carlo trials
+when run one at a time.  Either way the numbers are identical to a serial
+run for a fixed seed.
 """
 
 from __future__ import annotations
 
+import inspect
+import re
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from functools import lru_cache
+from typing import Callable, Protocol, Sequence
 
+from repro.utils.parallel import effective_jobs, parallel_map
 from repro.utils.tables import Table
 
 
@@ -56,13 +67,34 @@ class ExperimentResult:
 
 
 class ExperimentFn(Protocol):
-    """An experiment entry point."""
+    """An experiment entry point (may additionally accept ``jobs``)."""
 
     def __call__(self, seed: int = 0, quick: bool = False) -> ExperimentResult: ...
 
 
 #: The registry, keyed by experiment id.
 EXPERIMENTS: dict[str, ExperimentFn] = {}
+
+
+def experiment_sort_key(experiment_id: str) -> tuple:
+    """Numeric-aware id ordering: E2 before E10 (lexicographic would not)."""
+    match = re.fullmatch(r"([A-Za-z]*)(\d+)", experiment_id)
+    if match:
+        return (match.group(1), int(match.group(2)))
+    return (experiment_id, 0)
+
+
+def registered_ids() -> list[str]:
+    """All registered experiment ids in numeric order."""
+    return sorted(EXPERIMENTS, key=experiment_sort_key)
+
+
+@lru_cache(maxsize=None)
+def _accepts_jobs(fn: ExperimentFn) -> bool:
+    try:
+        return "jobs" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
 
 
 def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
@@ -77,20 +109,54 @@ def register(experiment_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
     return decorator
 
 
-def run_experiment(experiment_id: str, seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Run one registered experiment."""
+def run_experiment(
+    experiment_id: str, seed: int = 0, quick: bool = False, jobs: int = 1
+) -> ExperimentResult:
+    """Run one registered experiment.
+
+    ``jobs`` is forwarded to the experiment when its ``run`` accepts it
+    (the Monte-Carlo-heavy experiments parallelize their trial loops) and
+    ignored otherwise, so legacy two-argument experiments keep working.
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+            f"unknown experiment {experiment_id!r}; known: {registered_ids()}"
         ) from None
+    if jobs != 1 and _accepts_jobs(fn):
+        return fn(seed=seed, quick=quick, jobs=jobs)
     return fn(seed=seed, quick=quick)
 
 
-def run_all_experiments(seed: int = 0, quick: bool = False) -> list[ExperimentResult]:
+def run_experiments(
+    experiment_ids: Sequence[str],
+    seed: int = 0,
+    quick: bool = False,
+    jobs: int = 1,
+    backend: str = "auto",
+) -> list[ExperimentResult]:
+    """Run the given experiments, optionally fanning ids out across workers.
+
+    With ``jobs > 1`` and several ids, whole experiments run concurrently
+    (one per worker) and their inner estimators stay serial — nesting
+    process pools would oversubscribe.  With a single id the ``jobs``
+    budget is passed down into the experiment's own trial loops instead.
+    Results return in input order and match a serial run exactly.
+    """
+    ids = list(experiment_ids)
+    workers = effective_jobs(jobs)
+    if workers <= 1 or len(ids) <= 1:
+        return [run_experiment(i, seed=seed, quick=quick, jobs=jobs) for i in ids]
+
+    def one_experiment(experiment_id: str) -> ExperimentResult:
+        return run_experiment(experiment_id, seed=seed, quick=quick, jobs=1)
+
+    return parallel_map(one_experiment, ids, jobs=workers, backend=backend)
+
+
+def run_all_experiments(
+    seed: int = 0, quick: bool = False, jobs: int = 1
+) -> list[ExperimentResult]:
     """Run every experiment in id order."""
-    return [
-        EXPERIMENTS[experiment_id](seed=seed, quick=quick)
-        for experiment_id in sorted(EXPERIMENTS)
-    ]
+    return run_experiments(registered_ids(), seed=seed, quick=quick, jobs=jobs)

@@ -28,6 +28,51 @@ from repro.queries.query import SubsetQuery
 #: Hard cap: the candidate x answer table is O(4^n) work.
 MAX_EXHAUSTIVE_N = 16
 
+#: Memory ceiling for the vectorized candidate scan: candidates are checked
+#: in batches of at most ``_SCAN_CELLS // masks.size`` rows, so the
+#: (batch x queries) uint32 work matrix stays around 16 MiB at n = 16.
+_SCAN_CELLS = 1 << 22
+
+
+def _bit_matrix(values: np.ndarray, width: int) -> np.ndarray:
+    """Little-endian bit expansion: row ``i`` holds the bits of ``values[i]``.
+
+    A single broadcasted shift-and-mask (the ``np.unpackbits`` idiom for
+    non-uint8 widths) replacing the per-value Python bit comprehensions.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    return ((values[:, None] >> np.arange(width)) & 1).astype(np.uint8)
+
+
+def _scan_candidates(
+    candidates: np.ndarray, masks: np.ndarray, answers: np.ndarray, alpha: float
+):
+    """Yield ``(candidate_position, candidate)`` for every consistent candidate.
+
+    Vectorized: each batch ANDs all candidates against all query masks at
+    once and popcounts the matrix (``np.bitwise_count``), so no Python-level
+    per-candidate loop survives.  Batches keep peak memory bounded by
+    :data:`_SCAN_CELLS` cells.
+    """
+    batch = max(1, _SCAN_CELLS // max(1, masks.size))
+    tolerance = alpha + 1e-9
+    for start in range(0, candidates.size, batch):
+        chunk = candidates[start : start + batch]
+        counts = np.bitwise_count(masks[None, :] & chunk[:, None])
+        consistent = np.all(np.abs(answers[None, :] - counts) <= tolerance, axis=1)
+        for offset in np.flatnonzero(consistent):
+            yield start + int(offset), chunk[offset]
+
+
+def _ask_all_subset_queries(answerer: QueryAnswerer, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """All ``2^n - 1`` subset-query masks and the answerer's responses."""
+    masks = np.arange(1, 2**n, dtype=np.uint32)
+    mask_bits = _bit_matrix(masks, n).astype(bool)
+    answers = np.empty(masks.size, dtype=float)
+    for position in range(masks.size):
+        answers[position] = answerer.answer(SubsetQuery(mask_bits[position]))
+    return masks, answers
+
 
 @dataclass(frozen=True)
 class ExhaustiveReconstructionResult:
@@ -98,11 +143,7 @@ def exhaustive_reconstruction(
         )
 
     # Ask every non-empty subset query, indexed by its bitmask.
-    masks = np.arange(1, 2**n, dtype=np.uint32)
-    answers = np.empty(masks.size, dtype=float)
-    for position, bits in enumerate(masks):
-        mask = np.array([(int(bits) >> i) & 1 for i in range(n)], dtype=bool)
-        answers[position] = answerer.answer(SubsetQuery(mask))
+    masks, answers = _ask_all_subset_queries(answerer, n)
 
     candidates = np.arange(2**n, dtype=np.uint32)
     if candidate_order == "descending":
@@ -110,18 +151,13 @@ def exhaustive_reconstruction(
     elif candidate_order != "ascending":
         raise ValueError(f"unknown candidate order: {candidate_order!r}")
 
-    checked = 0
-    for candidate in candidates:
-        checked += 1
-        counts = np.bitwise_count(masks & candidate)
-        if np.all(np.abs(answers - counts) <= alpha + 1e-9):
-            bits = np.array([(int(candidate) >> i) & 1 for i in range(n)], dtype=np.int64)
-            return ExhaustiveReconstructionResult(
-                reconstruction=bits,
-                queries_used=int(masks.size),
-                candidates_checked=checked,
-                alpha=float(alpha),
-            )
+    for position, candidate in _scan_candidates(candidates, masks, answers, alpha):
+        return ExhaustiveReconstructionResult(
+            reconstruction=_bit_matrix(np.array([candidate]), n)[0].astype(np.int64),
+            queries_used=int(masks.size),
+            candidates_checked=position + 1,
+            alpha=float(alpha),
+        )
     raise ValueError(
         "no candidate is consistent with the answers; the answerer violated "
         f"its stated error bound alpha={alpha}"
@@ -144,16 +180,9 @@ def consistent_candidates(
         alpha = answerer.error_bound
     if not np.isfinite(alpha):
         raise ValueError("pass an explicit alpha for unbounded-error answerers")
-    masks = np.arange(1, 2**n, dtype=np.uint32)
-    answers = np.empty(masks.size, dtype=float)
-    for position, bits in enumerate(masks):
-        mask = np.array([(int(bits) >> i) & 1 for i in range(n)], dtype=bool)
-        answers[position] = answerer.answer(SubsetQuery(mask))
-    consistent = []
-    for candidate in range(2**n):
-        counts = np.bitwise_count(masks & np.uint32(candidate))
-        if np.all(np.abs(answers - counts) <= alpha + 1e-9):
-            consistent.append(
-                np.array([(candidate >> i) & 1 for i in range(n)], dtype=np.int64)
-            )
-    return consistent
+    masks, answers = _ask_all_subset_queries(answerer, n)
+    candidates = np.arange(2**n, dtype=np.uint32)
+    return [
+        _bit_matrix(np.array([candidate]), n)[0].astype(np.int64)
+        for _position, candidate in _scan_candidates(candidates, masks, answers, alpha)
+    ]

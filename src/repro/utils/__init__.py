@@ -3,8 +3,9 @@
 Everything stochastic in this library flows through :func:`ensure_rng`, so
 experiments are reproducible from a single integer seed.  The statistics
 helpers provide the confidence intervals used by every Monte-Carlo
-experiment, and :mod:`repro.utils.tables` renders the paper-vs-measured
-tables printed by the benchmark harness.
+experiment, :mod:`repro.utils.parallel` fans trial loops out across
+workers without perturbing those seeds, and :mod:`repro.utils.tables`
+renders the paper-vs-measured tables printed by the benchmark harness.
 """
 
 from repro.utils.negligible import (
@@ -12,6 +13,7 @@ from repro.utils.negligible import (
     negligible_weight_threshold,
     optimal_isolation_weight,
 )
+from repro.utils.parallel import effective_jobs, parallel_map
 from repro.utils.rng import RngSeed, derive_rng, ensure_rng, spawn_rngs
 from repro.utils.stats import (
     BinomialEstimate,
@@ -28,9 +30,11 @@ __all__ = [
     "Table",
     "clopper_pearson_interval",
     "derive_rng",
+    "effective_jobs",
     "empirical_cdf",
     "ensure_rng",
     "estimate_proportion",
+    "parallel_map",
     "format_table",
     "isolation_probability",
     "negligible_weight_threshold",

@@ -1,0 +1,80 @@
+"""Bit-identical results across execution backends (the engine's contract).
+
+Every Monte-Carlo estimator that takes ``jobs`` must produce exactly the
+same numbers for a fixed seed no matter how the trials are scheduled:
+serial, thread pool, or forked process pool.  These tests pin that down on
+the three wired layers — the PSO game, the isolation estimator, and the
+agreement-attack estimator.
+"""
+
+import pytest
+
+from repro.anonymity.agreement import estimate_agreement_attack_success
+from repro.core.attackers import TrivialAttacker
+from repro.core.isolation import estimate_isolation_rate
+from repro.core.leftover_hash import hash_threshold_predicate
+from repro.core.mechanisms import CountMechanism
+from repro.core.pso import PSOGame
+from repro.core.leftover_hash import hash_bit_predicate
+from repro.data.distributions import uniform_bits_distribution
+
+
+@pytest.fixture(scope="module")
+def distribution():
+    return uniform_bits_distribution(48)
+
+
+class TestGameDeterminism:
+    TRIALS = 24
+
+    def _run(self, distribution, jobs, backend="auto"):
+        game = PSOGame(
+            distribution,
+            120,
+            CountMechanism(hash_bit_predicate("det-q", 0)),
+            TrivialAttacker("negligible"),
+        )
+        return game.run(self.TRIALS, rng=7, jobs=jobs, backend=backend)
+
+    def test_process_jobs_match_serial_trials_exactly(self, distribution):
+        serial = self._run(distribution, jobs=1)
+        parallel = self._run(distribution, jobs=4)
+        assert parallel.trials == serial.trials
+        assert str(parallel.success) == str(serial.success)
+
+    def test_thread_backend_matches_serial_trials_exactly(self, distribution):
+        serial = self._run(distribution, jobs=1)
+        threaded = self._run(distribution, jobs=3, backend="thread")
+        assert threaded.trials == serial.trials
+
+    def test_different_seeds_differ(self, distribution):
+        game = PSOGame(
+            distribution,
+            120,
+            CountMechanism(hash_bit_predicate("det-q", 0)),
+            TrivialAttacker("optimal"),
+        )
+        first = game.run(self.TRIALS, rng=1, jobs=2)
+        second = game.run(self.TRIALS, rng=2, jobs=2)
+        assert first.trials != second.trials
+
+
+class TestEstimatorDeterminism:
+    def test_isolation_rate_across_jobs(self, distribution):
+        predicate = hash_threshold_predicate("det-iso", 1.0 / 120)
+        runs = [
+            estimate_isolation_rate(
+                predicate, distribution, n=120, trials=40, rng=11, jobs=jobs
+            )
+            for jobs in (1, 2, 4)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_agreement_attack_across_jobs_and_backends(self, distribution):
+        results = [
+            estimate_agreement_attack_success(
+                distribution, n=40, k=2, trials=10, rng=3, jobs=jobs, backend=backend
+            )
+            for jobs, backend in ((1, "serial"), (4, "process"), (3, "thread"))
+        ]
+        assert results[0].trials == results[1].trials == results[2].trials

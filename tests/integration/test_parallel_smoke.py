@@ -1,0 +1,36 @@
+"""Smoke test: the documented parallel CLI invocation end to end.
+
+Exercises the exact command the docs advertise —
+``python -m repro.experiments --quick --jobs 2 E1 E9`` — through ``main``,
+covering the experiment-id fan-out path (multiple ids, jobs > 1) and the
+single-id jobs passthrough.
+"""
+
+from repro.experiments.__main__ import main
+
+
+class TestParallelCli:
+    def test_quick_jobs_two_experiments(self, capsys):
+        assert main(["--quick", "--jobs", "2", "E1", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E9:" in out
+        assert "2 experiments completed" in out
+
+    def test_single_experiment_passes_jobs_down(self, capsys):
+        assert main(["--quick", "--jobs", "2", "E9"]) == 0
+        out = capsys.readouterr().out
+        assert "E9:" in out and "completed in" in out
+
+    def test_parallel_output_matches_serial(self, capsys):
+        assert main(["--quick", "--seed", "5", "E9"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--quick", "--seed", "5", "--jobs", "2", "E9"]) == 0
+        parallel = capsys.readouterr().out
+
+        def tables(text: str) -> str:
+            # Drop the timing footer lines; numbers must match exactly.
+            return "\n".join(
+                line for line in text.splitlines() if not line.startswith("[")
+            )
+
+        assert tables(parallel) == tables(serial)
