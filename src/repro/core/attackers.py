@@ -187,23 +187,19 @@ class CompositionAttacker:
         expected = levels + levels * self.bits
         if len(output) != expected:
             return None
-        threshold_counts = output[:levels]
-        target_level = None
-        for level, count in enumerate(threshold_counts):
-            if count == 1:
-                target_level = level
-                break
-        if target_level is None:
+        counts = np.asarray(output)
+        hits = np.flatnonzero(counts[:levels] == 1)
+        if hits.size == 0:
             return None
+        target_level = int(hits[0])
         predicate = hash_threshold_predicate(
             f"{self.salt}-h", self.thresholds[target_level]
         )
         offset = levels + target_level * self.bits
-        for bit in range(self.bits):
-            bit_count = output[offset + bit]
-            value = 1 if bit_count >= 1 else 0
+        bit_values = (counts[offset : offset + self.bits] >= 1).astype(int)
+        for bit, value in enumerate(bit_values):
             predicate = predicate & hash_bit_equals_predicate(
-                f"{self.salt}-g{bit}", 0, value
+                f"{self.salt}-g{bit}", 0, int(value)
             )
         return predicate
 
@@ -226,13 +222,16 @@ def build_composition_suite(
     thresholds = tuple(min(0.5, (2.0**j) / (8.0 * n)) for j in range(levels))
     bits = math.ceil(negligible_exponent * math.log2(n)) + 4
 
-    queries = [
+    threshold_queries = [
         hash_threshold_predicate(f"{salt}-h", threshold) for threshold in thresholds
     ]
-    for level, threshold in enumerate(thresholds):
-        base = hash_threshold_predicate(f"{salt}-h", threshold)
-        for bit in range(bits):
-            queries.append(base & hash_bit_predicate(f"{salt}-g{bit}", 0))
+    # The bit probes conjoin each level's threshold predicate with a shared
+    # bank of hash-bit predicates; both factors are built once and reused
+    # rather than re-derived per (level, bit) pair.
+    bit_predicates = [hash_bit_predicate(f"{salt}-g{bit}", 0) for bit in range(bits)]
+    queries = list(threshold_queries)
+    for base in threshold_queries:
+        queries.extend(base & bit_predicate for bit_predicate in bit_predicates)
 
     mechanism = ComposedMechanism([CountMechanism(query) for query in queries])
     adversary = CompositionAttacker(salt=salt, thresholds=thresholds, bits=bits)

@@ -24,7 +24,14 @@ from repro.utils.tables import Table
 
 @register("E7")
 def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Reconstruction + re-identification rates on synthetic census blocks."""
+    """Reconstruction + re-identification rates on synthetic census blocks.
+
+    The experiment runs four full reconstructions (published, rounded, two
+    DP releases); each is hundreds of per-block MILP solves that all share
+    the one margin-constraint matrix precomputed at import in
+    :mod:`repro.reconstruction.census_solver`, so block solves only fill a
+    right-hand-side vector.
+    """
     config = CensusConfig(blocks=12 if quick else 48, mean_block_size=12)
     rng = derive_rng(seed, "e7")
     census = generate_census(config, rng)

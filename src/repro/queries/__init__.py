@@ -19,8 +19,8 @@ from repro.queries.mechanism import (
     RoundingAnswerer,
     SubsamplingAnswerer,
 )
-from repro.queries.query import SubsetQuery
-from repro.queries.workload import all_subset_queries, random_subset_queries
+from repro.queries.query import SubsetQuery, queries_to_matrix
+from repro.queries.workload import Workload, all_subset_queries, random_subset_queries
 
 __all__ = [
     "BoundedNoiseAnswerer",
@@ -32,6 +32,8 @@ __all__ = [
     "RoundingAnswerer",
     "SubsamplingAnswerer",
     "SubsetQuery",
+    "Workload",
     "all_subset_queries",
+    "queries_to_matrix",
     "random_subset_queries",
 ]

@@ -16,6 +16,14 @@ Recovery":
   ``epsilon_per_query`` per answer; *not* bounded-error, and the one
   defense here that actually composes safely.
 
+Answerers serve queries two ways: one at a time through :meth:`answer`, or
+a whole :class:`~repro.queries.workload.Workload` at once through
+:meth:`answer_workload`, which computes every true answer with one sparse
+matrix-vector product and draws all noise in one vectorized RNG call.  Because
+each noise sample consumes exactly one underlying uniform draw in either
+path, the batched answers are bit-identical to the per-query loop for any
+seed and any batch split — determinism is never the price of speed.
+
 All answerers count how many queries they served; the attacks report that
 number, since "too many questions" is half of the Fundamental Law.
 """
@@ -23,15 +31,22 @@ number, since "too many questions" is half of the Fundamental Law.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
 from repro.queries.query import SubsetQuery, _validate_binary
+from repro.queries.workload import Workload
 from repro.utils.rng import RngSeed, ensure_rng
 
 
 class QueryAnswerer(ABC):
-    """Holds a private binary dataset; answers subset queries."""
+    """Holds a private binary dataset; answers subset queries.
+
+    The private data is validated (shape, 0/1 entries) exactly once, here at
+    construction; the per-query and batched answer paths both reuse the
+    validated array without re-checking it.
+    """
 
     def __init__(self, data: np.ndarray):
         self._data = _validate_binary(np.asarray(data), np.asarray(data).size)
@@ -42,6 +57,10 @@ class QueryAnswerer(ABC):
         """Size of the private dataset."""
         return int(self._data.size)
 
+    def _true(self, query: SubsetQuery) -> int:
+        """Exact answer on the (already validated) private data."""
+        return int(self._data[query.mask].sum())
+
     def answer(self, query: SubsetQuery) -> float:
         """Answer one query (subclasses add their noise in :meth:`_noisy`)."""
         if query.n != self.n:
@@ -49,13 +68,40 @@ class QueryAnswerer(ABC):
         self.queries_answered += 1
         return self._noisy(query)
 
-    def answer_all(self, queries: list[SubsetQuery]) -> np.ndarray:
-        """Answer a workload; returns an ``(m,)`` array of answers."""
-        return np.array([self.answer(query) for query in queries], dtype=float)
+    def answer_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
+        """Answer a packed workload; returns an ``(m,)`` array of answers.
+
+        Bit-identical to calling :meth:`answer` on each query in order (for
+        the same RNG state), but the true answers come from one sparse
+        matvec and the noise from one vectorized draw.  The query counter
+        advances by ``m``.
+        """
+        workload = Workload.coerce(workload)
+        if workload.n != self.n:
+            raise ValueError(f"workload addresses n={workload.n}, data has n={self.n}")
+        answers = self._noisy_workload(workload)
+        self.queries_answered += len(workload)
+        return answers
+
+    def answer_all(self, queries: Workload | Sequence[SubsetQuery]) -> np.ndarray:
+        """Answer a workload; returns an ``(m,)`` array of answers.
+
+        Alias of :meth:`answer_workload` (kept for the original list-based
+        call sites); the batched fast path applies either way.
+        """
+        return self.answer_workload(queries)
 
     @abstractmethod
     def _noisy(self, query: SubsetQuery) -> float:
         """The (possibly noisy) answer to ``query``."""
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        """Batched noisy answers; subclasses override with vectorized paths.
+
+        The base implementation loops :meth:`_noisy` so third-party
+        subclasses that only define the scalar path stay correct.
+        """
+        return np.array([self._noisy(query) for query in workload], dtype=float)
 
     @property
     @abstractmethod
@@ -71,7 +117,10 @@ class ExactAnswerer(QueryAnswerer):
         return 0.0
 
     def _noisy(self, query: SubsetQuery) -> float:
-        return float(query.true_answer(self._data))
+        return float(self._true(query))
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        return workload.true_answers(self._data, validate=False).astype(np.float64)
 
 
 class BoundedNoiseAnswerer(QueryAnswerer):
@@ -100,7 +149,7 @@ class BoundedNoiseAnswerer(QueryAnswerer):
         return self.alpha
 
     def _noisy(self, query: SubsetQuery) -> float:
-        true = query.true_answer(self._data)
+        true = self._true(query)
         if self.alpha == 0:
             return float(true)
         if self.shape == "uniform":
@@ -108,6 +157,17 @@ class BoundedNoiseAnswerer(QueryAnswerer):
         else:
             noise = self.alpha * (1 if self._rng.random() < 0.5 else -1)
         return float(true + noise)
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        true = workload.true_answers(self._data, validate=False).astype(np.float64)
+        if self.alpha == 0:
+            return true
+        if self.shape == "uniform":
+            noise = self._rng.uniform(-self.alpha, self.alpha, size=len(workload))
+        else:
+            flips = self._rng.random(len(workload)) < 0.5
+            noise = np.where(flips, self.alpha, -self.alpha)
+        return true + noise
 
 
 class RoundingAnswerer(QueryAnswerer):
@@ -124,8 +184,14 @@ class RoundingAnswerer(QueryAnswerer):
         return self.step / 2.0
 
     def _noisy(self, query: SubsetQuery) -> float:
-        true = query.true_answer(self._data)
+        true = self._true(query)
         return float(round(true / self.step) * self.step)
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        true = workload.true_answers(self._data, validate=False)
+        # np.round and Python round() both round half to even, so the
+        # vectorized grid matches the scalar path exactly.
+        return np.round(true / self.step) * self.step
 
 
 class SubsamplingAnswerer(QueryAnswerer):
@@ -146,6 +212,10 @@ class SubsamplingAnswerer(QueryAnswerer):
         generator = ensure_rng(rng)
         keep = generator.random(self.n) < rate
         self._subsample_mask = keep
+        # The subsample is fixed at construction, so batched answering only
+        # needs the sampled records: zeroing the rest lets true_answers run
+        # the same sparse matvec against the thinned data.
+        self._subsampled_data = np.where(keep, self._data, 0)
 
     @property
     def error_bound(self) -> float:
@@ -156,6 +226,10 @@ class SubsamplingAnswerer(QueryAnswerer):
         selected = query.mask & self._subsample_mask
         count = float(self._data[selected].sum())
         return count / self.rate
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        counts = workload.true_answers(self._subsampled_data, validate=False)
+        return counts.astype(np.float64) / self.rate
 
 
 class LaplaceAnswerer(QueryAnswerer):
@@ -183,8 +257,13 @@ class LaplaceAnswerer(QueryAnswerer):
         return self.queries_answered * self.epsilon_per_query
 
     def _noisy(self, query: SubsetQuery) -> float:
-        true = query.true_answer(self._data)
+        true = self._true(query)
         return float(true + self._rng.laplace(0.0, 1.0 / self.epsilon_per_query))
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        true = workload.true_answers(self._data, validate=False).astype(np.float64)
+        scale = 1.0 / self.epsilon_per_query
+        return true + self._rng.laplace(0.0, scale, size=len(workload))
 
 
 class QueryBudgetExceeded(RuntimeError):
@@ -197,7 +276,9 @@ class BudgetedAnswerer(QueryAnswerer):
     The Fundamental Law offers two defenses: add noise, or "limit the number
     of queries asked".  This wrapper implements the latter as infrastructure:
     after ``max_queries`` answers it raises :class:`QueryBudgetExceeded`,
-    cutting the LP attack off below the m = Omega(n) it needs.
+    cutting the LP attack off below the m = Omega(n) it needs.  A batched
+    workload is all-or-nothing: if it does not fit in the remaining budget
+    it is refused outright, with no queries consumed.
     """
 
     def __init__(self, inner: QueryAnswerer, max_queries: int):
@@ -225,6 +306,17 @@ class BudgetedAnswerer(QueryAnswerer):
             )
         self.queries_answered += 1
         return self.inner.answer(query)
+
+    def answer_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
+        workload = Workload.coerce(workload)
+        if self.queries_answered + len(workload) > self.max_queries:
+            raise QueryBudgetExceeded(
+                f"workload of {len(workload)} queries exceeds the remaining "
+                f"budget of {self.remaining} (max {self.max_queries})"
+            )
+        answers = self.inner.answer_workload(workload)
+        self.queries_answered += len(workload)
+        return answers
 
     def _noisy(self, query: SubsetQuery) -> float:  # pragma: no cover - unused
         return self.inner._noisy(query)

@@ -171,42 +171,87 @@ def _reconstruct_block(tables: BlockTables) -> tuple[list[ReconstructedRecord], 
     return records, solved
 
 
+def _cube_system() -> tuple[
+    list[tuple[str, str, str]],
+    dict[tuple[str, str, str], int],
+    np.ndarray,
+    list[tuple[str, str]],
+    list[tuple[str, str]],
+]:
+    """Precompute the margin-constraint system shared by every block.
+
+    The constraint *matrix* depends only on the attribute vocabularies
+    (SEXES x RACES x ETHNICITIES), never on the block, so it is built once
+    at import time; per block only the right-hand-side margins change.
+    """
+    variables = list(product(SEXES, RACES, ETHNICITIES))
+    index = {cell: i for i, cell in enumerate(variables)}
+    sex_race_cells = list(product(SEXES, RACES))
+    race_ethnicity_cells = list(product(RACES, ETHNICITIES))
+
+    matrix = np.zeros((len(sex_race_cells) + len(race_ethnicity_cells), len(variables)))
+    for row, (sex, race) in enumerate(sex_race_cells):
+        for ethnicity in ETHNICITIES:
+            matrix[row, index[(sex, race, ethnicity)]] = 1.0
+    offset = len(sex_race_cells)
+    for row, (race, ethnicity) in enumerate(race_ethnicity_cells):
+        for sex in SEXES:
+            matrix[offset + row, index[(sex, race, ethnicity)]] = 1.0
+    matrix.setflags(write=False)
+    return variables, index, matrix, sex_race_cells, race_ethnicity_cells
+
+
+(
+    _CUBE_VARIABLES,
+    _CUBE_INDEX,
+    _CUBE_MATRIX,
+    _CUBE_SEX_RACE_CELLS,
+    _CUBE_RACE_ETHNICITY_CELLS,
+) = _cube_system()
+
+
 def _solve_cube(tables: BlockTables) -> dict[tuple[str, str, str], int] | None:
     """Integer feasibility for n[sex, race, ethnicity] given two margins.
 
     Margins: ``sum_e n[s,r,e] = sex_by_race[s,r]`` and
     ``sum_s n[s,r,e] = race_by_ethnicity[r,e]``.  Solved exactly with
-    scipy's MILP (16 variables, 16 equality constraints).
+    scipy's MILP (16 variables, 16 equality constraints); the constraint
+    matrix is the block-independent :data:`_CUBE_MATRIX` assembled once at
+    module load, so per block we only fill the margin vector.
     """
-    variables = list(product(SEXES, RACES, ETHNICITIES))
-    index = {cell: i for i, cell in enumerate(variables)}
-    num_vars = len(variables)
+    bounds = np.fromiter(
+        (
+            tables.sex_by_race.get(cell, 0)
+            for cell in _CUBE_SEX_RACE_CELLS
+        ),
+        dtype=float,
+        count=len(_CUBE_SEX_RACE_CELLS),
+    )
+    bounds = np.concatenate(
+        [
+            bounds,
+            np.fromiter(
+                (
+                    tables.race_by_ethnicity.get(cell, 0)
+                    for cell in _CUBE_RACE_ETHNICITY_CELLS
+                ),
+                dtype=float,
+                count=len(_CUBE_RACE_ETHNICITY_CELLS),
+            ),
+        ]
+    )
 
-    rows, bounds = [], []
-    for sex, race in product(SEXES, RACES):
-        row = np.zeros(num_vars)
-        for ethnicity in ETHNICITIES:
-            row[index[(sex, race, ethnicity)]] = 1.0
-        rows.append(row)
-        bounds.append(tables.sex_by_race.get((sex, race), 0))
-    for race, ethnicity in product(RACES, ETHNICITIES):
-        row = np.zeros(num_vars)
-        for sex in SEXES:
-            row[index[(sex, race, ethnicity)]] = 1.0
-        rows.append(row)
-        bounds.append(tables.race_by_ethnicity.get((race, ethnicity), 0))
-
-    constraint = LinearConstraint(np.array(rows), np.array(bounds), np.array(bounds))
+    constraint = LinearConstraint(_CUBE_MATRIX, bounds, bounds)
     result = milp(
-        c=np.zeros(num_vars),
+        c=np.zeros(len(_CUBE_VARIABLES)),
         constraints=[constraint],
-        integrality=np.ones(num_vars),
+        integrality=np.ones(len(_CUBE_VARIABLES)),
         bounds=(0, tables.total),
     )
     if not result.success:
         return None
     solution = np.round(result.x).astype(int)
-    return {cell: int(solution[i]) for cell, i in index.items()}
+    return {cell: int(solution[i]) for cell, i in _CUBE_INDEX.items()}
 
 
 def _proportional_cube(tables: BlockTables) -> dict[tuple[str, str, str], int]:

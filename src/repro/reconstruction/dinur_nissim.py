@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.queries.mechanism import QueryAnswerer
-from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
 
 #: Hard cap: the candidate x answer table is O(4^n) work.
 MAX_EXHAUSTIVE_N = 16
@@ -65,12 +65,16 @@ def _scan_candidates(
 
 
 def _ask_all_subset_queries(answerer: QueryAnswerer, n: int) -> tuple[np.ndarray, np.ndarray]:
-    """All ``2^n - 1`` subset-query masks and the answerer's responses."""
+    """All ``2^n - 1`` subset-query masks and the answerer's responses.
+
+    The whole exponential workload goes through the batched
+    ``answer_workload`` path: one sparse matvec for the true counts, one
+    vectorized noise draw, ``queries_answered`` advanced by ``2^n - 1`` —
+    bit-identical to the old per-query loop but without 2^n Python calls.
+    """
     masks = np.arange(1, 2**n, dtype=np.uint32)
-    mask_bits = _bit_matrix(masks, n).astype(bool)
-    answers = np.empty(masks.size, dtype=float)
-    for position in range(masks.size):
-        answers[position] = answerer.answer(SubsetQuery(mask_bits[position]))
+    workload = Workload(_bit_matrix(masks, n).astype(bool), copy=False)
+    answers = answerer.answer_workload(workload)
     return masks, answers
 
 

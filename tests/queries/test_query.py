@@ -23,6 +23,18 @@ class TestSubsetQuery:
         with pytest.raises(ValueError):
             SubsetQuery.from_indices([5], n=5)
 
+    def test_from_indices_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetQuery.from_indices([-1], n=5)
+
+    def test_from_indices_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetQuery.from_indices([0.5], n=5)
+
+    def test_from_indices_empty(self):
+        query = SubsetQuery.from_indices([], n=3)
+        assert query.size == 0
+
     def test_empty_mask_rejected(self):
         with pytest.raises(ValueError):
             SubsetQuery(np.array([], dtype=bool))
@@ -76,3 +88,20 @@ class TestQueriesToMatrix:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             queries_to_matrix([])
+
+    def test_dtype_option(self):
+        queries = [SubsetQuery([True, False]), SubsetQuery([True, True])]
+        matrix = queries_to_matrix(queries, dtype=np.int64)
+        assert matrix.dtype == np.int64
+        assert queries_to_matrix(queries, dtype=bool).dtype == bool
+
+    def test_sparse_option(self):
+        import scipy.sparse
+
+        queries = [SubsetQuery([True, False]), SubsetQuery([False, True])]
+        matrix = queries_to_matrix(queries, sparse=True)
+        assert scipy.sparse.issparse(matrix)
+        assert matrix.format == "csr"
+        assert np.array_equal(
+            matrix.toarray(), queries_to_matrix(queries)
+        )

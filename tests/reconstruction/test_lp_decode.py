@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.queries.mechanism import BoundedNoiseAnswerer, ExactAnswerer, LaplaceAnswerer
-from repro.queries.workload import random_subset_queries
+from repro.queries.workload import Workload, random_subset_queries
 from repro.reconstruction.lp_decode import lp_reconstruction, reconstruct_from_answers
 
 
@@ -93,3 +93,54 @@ class TestReconstructFromAnswers:
         answers = ExactAnswerer(data).answer_all(queries)
         result = reconstruct_from_answers(queries, answers)
         assert result.mode == "least-l1"
+
+    def test_accepts_workload_directly(self):
+        rng = np.random.default_rng(17)
+        n = 40
+        data = rng.integers(0, 2, size=n)
+        workload = Workload.random(n, 8 * n, rng=rng)
+        answers = ExactAnswerer(data).answer_workload(workload)
+        result = reconstruct_from_answers(workload, answers, alpha=0.0)
+        assert result.agreement_with(data) >= 0.98
+        assert result.queries_used == 8 * n
+
+
+class TestSparsePath:
+    def test_prebuilt_workload_reused(self):
+        rng = np.random.default_rng(18)
+        n = 48
+        data = rng.integers(0, 2, size=n)
+        workload = Workload.random(n, 8 * n, rng=rng)
+        answerer = ExactAnswerer(data)
+        result = lp_reconstruction(answerer, workload=workload)
+        assert result.agreement_with(data) >= 0.98
+        assert answerer.queries_answered == 8 * n
+
+    def test_workload_size_mismatch_rejected(self):
+        data = np.zeros(8, dtype=int)
+        workload = Workload.random(9, 4, rng=0)
+        with pytest.raises(ValueError):
+            lp_reconstruction(ExactAnswerer(data), workload=workload)
+
+    def test_sparse_density_large_n(self):
+        # Low-density workloads keep the CSR constraint matrix genuinely
+        # sparse; the attack still reconstructs in its noise regime.
+        rng = np.random.default_rng(19)
+        n = 256
+        density = 32.0 / n
+        data = rng.integers(0, 2, size=n)
+        answerer = BoundedNoiseAnswerer(data, alpha=2.0, rng=rng)
+        result = lp_reconstruction(answerer, density=density, rng=20)
+        assert result.agreement_with(data) >= 0.9
+
+    def test_solver_knob(self):
+        data = np.random.default_rng(21).integers(0, 2, size=32)
+        ipm = lp_reconstruction(ExactAnswerer(data), rng=22, solver="highs-ipm")
+        simplex = lp_reconstruction(ExactAnswerer(data), rng=22, solver="highs")
+        # Both algorithms decode the same transcript to the same bits.
+        assert np.array_equal(ipm.reconstruction, simplex.reconstruction)
+
+    def test_unknown_solver_rejected(self):
+        data = np.zeros(8, dtype=int)
+        with pytest.raises(ValueError):
+            lp_reconstruction(ExactAnswerer(data), solver="not-a-solver")
