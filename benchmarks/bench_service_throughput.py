@@ -1,0 +1,265 @@
+"""Benchmark: query-service throughput and auditor overhead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --smoke
+
+**Single-session throughput.**  One analyst asks ``q`` distinct queries
+against an ``n``-bit Laplace server three ways: per-query *uncached* (every
+ask draws noise and is charged), per-query *cached* (the same queries
+re-asked — fingerprint + cache hit + audit-log append, no charge, no
+noise), and *batched* via ``ask_workload`` (one vectorized mechanism call).
+The cached path is asserted to clear **10,000 queries/sec** (the ISSUE
+acceptance bar); cache hits are also asserted bit-identical to the first
+release.
+
+**Concurrent sessions.**  ``k in {1, 2, 4, 8, 16}`` analyst threads ask
+their own query streams against one shared server (per-analyst caches,
+locks, and noise streams; shared accountant and audit log).  Reported as
+aggregate queries/sec for cached and uncached per-query asks.  Python
+threads serialize the pure-Python hot path, so this measures lock overhead
+honestly rather than advertising parallel speedup.
+
+**Auditor overhead.**  The same attacker-style batched workload stream is
+served with the reconstruction auditor disabled and enabled (audit pass
+every ``n/8`` fresh queries); the slowdown is the price of online LP
+replay, amortized per query.
+
+Results are written to ``BENCH_service.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.queries.workload import Workload
+from repro.service import (
+    BasicAccountant,
+    CircuitBreakerTripped,
+    QueryServer,
+    ReconstructionAuditor,
+)
+from repro.utils.rng import derive_rng
+
+#: The ISSUE acceptance bar for the cached per-query path.
+MIN_CACHED_QPS = 10_000.0
+
+
+def _make_server(n: int, seed: int, auditor: ReconstructionAuditor | None = None) -> QueryServer:
+    data = derive_rng(seed, "bench-data", n).integers(0, 2, size=n)
+    return QueryServer(
+        data,
+        mechanism="laplace",
+        mechanism_params={"epsilon_per_query": 0.25},
+        accountant=BasicAccountant(),
+        auditor=auditor,
+        seed=seed,
+    )
+
+
+def bench_single_session(n: int, num_queries: int, seed: int) -> dict:
+    """Uncached vs cached vs batched throughput for one analyst."""
+    workload = Workload.random(n, num_queries, rng=derive_rng(seed, "bench-w", n))
+    queries = list(workload)
+
+    server = _make_server(n, seed)
+    session = server.session("analyst")
+    start = time.perf_counter()
+    first = np.array([session.ask(query) for query in queries])
+    uncached_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replay = np.array([session.ask(query) for query in queries])
+    cached_elapsed = time.perf_counter() - start
+    assert np.array_equal(first, replay), "cache replay diverged from first release"
+    assert session.queries_charged == num_queries, "cache hits must not be re-charged"
+
+    batch_server = _make_server(n, seed)
+    batch_session = batch_server.session("analyst")
+    start = time.perf_counter()
+    batched = batch_session.ask_workload(workload)
+    batched_elapsed = time.perf_counter() - start
+    # Same analyst name + seed => same noise stream: the batched answers
+    # must be bit-identical to the per-query uncached pass.
+    assert np.array_equal(batched, first), "batched answers diverged from per-query"
+
+    cached_qps = num_queries / max(cached_elapsed, 1e-9)
+    assert cached_qps >= MIN_CACHED_QPS, (
+        f"cached throughput {cached_qps:,.0f} q/s below the {MIN_CACHED_QPS:,.0f} bar"
+    )
+    return {
+        "n": n,
+        "queries": num_queries,
+        "uncached_qps": num_queries / max(uncached_elapsed, 1e-9),
+        "cached_qps": cached_qps,
+        "batched_qps": num_queries / max(batched_elapsed, 1e-9),
+        "cache_hit_rate": session.cache.hit_rate,
+    }
+
+
+def bench_concurrent(n: int, per_session: int, sessions: int, seed: int) -> dict:
+    """Aggregate throughput with ``sessions`` analyst threads on one server."""
+    server = _make_server(n, seed)
+    streams = []
+    for index in range(sessions):
+        workload = Workload.random(
+            n, per_session, rng=derive_rng(seed, "bench-c", n, index)
+        )
+        streams.append((server.session(f"analyst-{index}"), list(workload)))
+
+    def run_uncached(entry):
+        session, queries = entry
+        for query in queries:
+            session.ask(query)
+
+    def run_cached(entry):
+        session, queries = entry
+        for query in queries:
+            session.ask(query)
+
+    def timed(target) -> float:
+        threads = [
+            threading.Thread(target=target, args=(entry,)) for entry in streams
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    uncached_elapsed = timed(run_uncached)   # first pass: all misses
+    cached_elapsed = timed(run_cached)       # second pass: all hits
+    total = per_session * sessions
+    return {
+        "sessions": sessions,
+        "n": n,
+        "queries_total": total,
+        "uncached_qps": total / max(uncached_elapsed, 1e-9),
+        "cached_qps": total / max(cached_elapsed, 1e-9),
+    }
+
+
+def bench_auditor_overhead(n: int, seed: int) -> dict:
+    """Batched attack stream with the auditor off vs on."""
+    batches = [
+        Workload.random(n, n // 8, rng=derive_rng(seed, "bench-audit", n, index))
+        for index in range(12)
+    ]
+
+    plain = _make_server(n, seed)
+    session = plain.session("attacker")
+    start = time.perf_counter()
+    for workload in batches:
+        session.ask_workload(workload)
+    plain_elapsed = time.perf_counter() - start
+
+    auditor = ReconstructionAuditor(
+        derive_rng(seed, "bench-data", n).integers(0, 2, size=n),
+        agreement_threshold=1.0,  # never trip: measure full-stream overhead
+        audit_every=n // 8,
+        min_queries=n // 4,
+        alpha=None,
+    )
+    audited = _make_server(n, seed, auditor=auditor)
+    session = audited.session("attacker")
+    start = time.perf_counter()
+    try:
+        for workload in batches:
+            session.ask_workload(workload)
+    except CircuitBreakerTripped:  # pragma: no cover - threshold 1.0
+        pass
+    audited_elapsed = time.perf_counter() - start
+
+    total = sum(len(w) for w in batches)
+    passes = len(auditor.reports)
+    return {
+        "n": n,
+        "queries": total,
+        "audit_passes": passes,
+        "plain_qps": total / max(plain_elapsed, 1e-9),
+        "audited_qps": total / max(audited_elapsed, 1e-9),
+        "overhead_ratio": audited_elapsed / max(plain_elapsed, 1e-9),
+        "lp_seconds_per_pass": (
+            sum(r.elapsed_seconds for r in auditor.reports) / passes if passes else 0.0
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sessions", type=int, nargs="+", default=None, help="concurrency levels"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    n = 128 if args.smoke else 512
+    num_queries = 2_000 if args.smoke else 8_000
+    per_session = 250 if args.smoke else 1_000
+    session_counts = args.sessions or ([1, 2, 4] if args.smoke else [1, 2, 4, 8, 16])
+
+    single = bench_single_session(n, num_queries, args.seed)
+    print(
+        f"single session n={n}: uncached {single['uncached_qps']:,.0f} q/s, "
+        f"cached {single['cached_qps']:,.0f} q/s, "
+        f"batched {single['batched_qps']:,.0f} q/s",
+        flush=True,
+    )
+
+    concurrent = []
+    for count in session_counts:
+        entry = bench_concurrent(n, per_session, count, args.seed)
+        concurrent.append(entry)
+        print(
+            f"{count:>2} sessions: uncached {entry['uncached_qps']:,.0f} q/s, "
+            f"cached {entry['cached_qps']:,.0f} q/s",
+            flush=True,
+        )
+
+    audit = bench_auditor_overhead(n, args.seed)
+    print(
+        f"auditor: {audit['audit_passes']} passes, "
+        f"{audit['overhead_ratio']:.2f}x stream slowdown, "
+        f"{audit['lp_seconds_per_pass']:.3f}s per LP replay",
+        flush=True,
+    )
+
+    payload = {
+        "benchmark": "service_throughput",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "min_cached_qps_bar": MIN_CACHED_QPS,
+        "single_session": single,
+        "concurrent": concurrent,
+        "auditor": audit,
+    }
+    if not args.no_write:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

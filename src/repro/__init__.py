@@ -17,8 +17,13 @@ the most commonly used entry points are re-exported here:
 * the legal layer —
   :func:`~repro.legal.theorems.legal_theorem_2_1`,
   :func:`~repro.legal.theorems.differential_privacy_assessment`;
+* the service layer —
+  :class:`~repro.service.server.QueryServer`,
+  :class:`~repro.service.audit.ReconstructionAuditor`, and the typed
+  refusals :class:`~repro.service.accountant.BudgetExhausted` /
+  :class:`~repro.service.audit.CircuitBreakerTripped`;
 * the experiment harness —
-  :func:`~repro.experiments.run_experiment` (E1-E16).
+  :func:`~repro.experiments.run_experiment` (E1-E18).
 
 Quick tour::
 
@@ -59,10 +64,18 @@ from repro.legal.theorems import (
     legal_theorem_2_1,
     working_party_comparison,
 )
+from repro.service import (
+    BudgetExhausted,
+    CircuitBreakerTripped,
+    QueryServer,
+    ReconstructionAuditor,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExhausted",
+    "CircuitBreakerTripped",
     "ComposedMechanism",
     "CompositionAttacker",
     "ConstantMechanism",
@@ -79,6 +92,8 @@ __all__ = [
     "PSOGameResult",
     "PostProcessedMechanism",
     "Predicate",
+    "QueryServer",
+    "ReconstructionAuditor",
     "TheoremCheck",
     "TrivialAttacker",
     "__version__",

@@ -1,7 +1,8 @@
 """Experiment harness: every numeric claim in the paper, regenerated.
 
 The paper is a keynote without measurement tables, so its "evaluation" is
-the set of quantitative claims indexed E1-E12 in DESIGN.md (Section 5).
+the set of quantitative claims indexed in DESIGN.md (Section 5), extended
+by the later subsystem experiments (E13-E18).
 Each module here regenerates one claim end to end — workload, attack,
 baseline, and a paper-vs-measured table — and the benchmark suite under
 ``benchmarks/`` wraps each with pytest-benchmark.
@@ -43,6 +44,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration imports)
     e15_ml_membership,
     e16_genomic_membership,
     e17_graph_deanonymization,
+    e18_service_audit,
 )
 
 __all__ = [

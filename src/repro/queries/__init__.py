@@ -14,6 +14,7 @@ from repro.queries.mechanism import (
     BudgetedAnswerer,
     QueryBudgetExceeded,
     ExactAnswerer,
+    GaussianAnswerer,
     LaplaceAnswerer,
     QueryAnswerer,
     RoundingAnswerer,
@@ -27,6 +28,7 @@ __all__ = [
     "BudgetedAnswerer",
     "QueryBudgetExceeded",
     "ExactAnswerer",
+    "GaussianAnswerer",
     "LaplaceAnswerer",
     "QueryAnswerer",
     "RoundingAnswerer",

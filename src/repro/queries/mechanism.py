@@ -15,6 +15,9 @@ Recovery":
 * :class:`LaplaceAnswerer` — the Laplace mechanism of Theorem 1.3, spending
   ``epsilon_per_query`` per answer; *not* bounded-error, and the one
   defense here that actually composes safely.
+* :class:`GaussianAnswerer` — the Gaussian mechanism, (epsilon, delta)-DP
+  per answer with the classical sigma calibration; the approximate-DP
+  regime of the 2020 Census deployment.
 
 Answerers serve queries two ways: one at a time through :meth:`answer`, or
 a whole :class:`~repro.queries.workload.Workload` at once through
@@ -30,6 +33,7 @@ number, since "too many questions" is half of the Fundamental Law.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -46,11 +50,19 @@ class QueryAnswerer(ABC):
     The private data is validated (shape, 0/1 entries) exactly once, here at
     construction; the per-query and batched answer paths both reuse the
     validated array without re-checking it.
+
+    Answerers are safe to share across threads: each instance serializes its
+    answer paths under a lock, so concurrent :meth:`answer` /
+    :meth:`answer_workload` calls cannot corrupt the RNG stream or lose
+    counter increments.  *Which* answer a given call receives still depends
+    on arrival order — callers that need per-caller determinism (e.g. the
+    query service) give each caller its own answerer instance.
     """
 
     def __init__(self, data: np.ndarray):
         self._data = _validate_binary(np.asarray(data), np.asarray(data).size)
         self.queries_answered = 0
+        self._answer_lock = threading.Lock()
 
     @property
     def n(self) -> int:
@@ -65,8 +77,9 @@ class QueryAnswerer(ABC):
         """Answer one query (subclasses add their noise in :meth:`_noisy`)."""
         if query.n != self.n:
             raise ValueError(f"query addresses n={query.n}, data has n={self.n}")
-        self.queries_answered += 1
-        return self._noisy(query)
+        with self._answer_lock:
+            self.queries_answered += 1
+            return self._noisy(query)
 
     def answer_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
         """Answer a packed workload; returns an ``(m,)`` array of answers.
@@ -79,8 +92,9 @@ class QueryAnswerer(ABC):
         workload = Workload.coerce(workload)
         if workload.n != self.n:
             raise ValueError(f"workload addresses n={workload.n}, data has n={self.n}")
-        answers = self._noisy_workload(workload)
-        self.queries_answered += len(workload)
+        with self._answer_lock:
+            answers = self._noisy_workload(workload)
+            self.queries_answered += len(workload)
         return answers
 
     def answer_all(self, queries: Workload | Sequence[SubsetQuery]) -> np.ndarray:
@@ -266,6 +280,57 @@ class LaplaceAnswerer(QueryAnswerer):
         return true + self._rng.laplace(0.0, scale, size=len(workload))
 
 
+class GaussianAnswerer(QueryAnswerer):
+    """The Gaussian mechanism: (epsilon, delta)-DP per answer.
+
+    Each subset-count query has sensitivity 1, so adding ``N(0, sigma^2)``
+    noise with the classical calibration ``sigma = sqrt(2 ln(1.25/delta)) /
+    epsilon`` makes each answer (epsilon, delta)-differentially private for
+    ``epsilon <= 1``.  Like :class:`LaplaceAnswerer` the error is unbounded,
+    so the LP attack must fall back to least-l1 decoding; unlike Laplace the
+    guarantee is approximate DP, the regime of the 2020 Census deployment.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        epsilon_per_query: float,
+        delta_per_query: float = 1e-6,
+        rng: RngSeed = None,
+    ):
+        super().__init__(data)
+        if not 0 < epsilon_per_query <= 1:
+            raise ValueError(
+                "the classical Gaussian calibration requires 0 < epsilon <= 1, "
+                f"got {epsilon_per_query}"
+            )
+        if not 0 < delta_per_query < 1:
+            raise ValueError(f"delta must lie in (0, 1), got {delta_per_query}")
+        self.epsilon_per_query = float(epsilon_per_query)
+        self.delta_per_query = float(delta_per_query)
+        self.sigma = float(
+            np.sqrt(2.0 * np.log(1.25 / self.delta_per_query)) / self.epsilon_per_query
+        )
+        self._rng = ensure_rng(rng)
+
+    @property
+    def error_bound(self) -> float:
+        return float("inf")  # Gaussian noise is unbounded.
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Total epsilon under basic composition (delta composes likewise)."""
+        return self.queries_answered * self.epsilon_per_query
+
+    def _noisy(self, query: SubsetQuery) -> float:
+        true = self._true(query)
+        return float(true + self._rng.normal(0.0, self.sigma))
+
+    def _noisy_workload(self, workload: Workload) -> np.ndarray:
+        true = workload.true_answers(self._data, validate=False).astype(np.float64)
+        return true + self._rng.normal(0.0, self.sigma, size=len(workload))
+
+
 class QueryBudgetExceeded(RuntimeError):
     """Raised when a budgeted answerer refuses further queries."""
 
@@ -279,6 +344,10 @@ class BudgetedAnswerer(QueryAnswerer):
     cutting the LP attack off below the m = Omega(n) it needs.  A batched
     workload is all-or-nothing: if it does not fit in the remaining budget
     it is refused outright, with no queries consumed.
+
+    The charge is atomic: budget is *reserved* under a lock before the inner
+    answerer runs (and released if it fails), so concurrent ``answer`` /
+    ``answer_workload`` callers can never jointly overshoot ``max_queries``.
     """
 
     def __init__(self, inner: QueryAnswerer, max_queries: int):
@@ -287,6 +356,7 @@ class BudgetedAnswerer(QueryAnswerer):
         # Share the inner answerer's data reference without re-validating.
         self._data = inner._data
         self.queries_answered = 0
+        self._answer_lock = threading.Lock()
         self.inner = inner
         self.max_queries = int(max_queries)
 
@@ -299,24 +369,40 @@ class BudgetedAnswerer(QueryAnswerer):
         """Queries left in the budget."""
         return self.max_queries - self.queries_answered
 
+    def _reserve(self, count: int) -> None:
+        """Atomically claim ``count`` queries or refuse without consuming any."""
+        with self._answer_lock:
+            if self.queries_answered + count > self.max_queries:
+                if count == 1:
+                    raise QueryBudgetExceeded(
+                        f"query budget of {self.max_queries} exhausted"
+                    )
+                raise QueryBudgetExceeded(
+                    f"workload of {count} queries exceeds the remaining "
+                    f"budget of {self.remaining} (max {self.max_queries})"
+                )
+            self.queries_answered += count
+
+    def _release(self, count: int) -> None:
+        with self._answer_lock:
+            self.queries_answered -= count
+
     def answer(self, query: SubsetQuery) -> float:
-        if self.queries_answered >= self.max_queries:
-            raise QueryBudgetExceeded(
-                f"query budget of {self.max_queries} exhausted"
-            )
-        self.queries_answered += 1
-        return self.inner.answer(query)
+        self._reserve(1)
+        try:
+            return self.inner.answer(query)
+        except Exception:
+            self._release(1)
+            raise
 
     def answer_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
         workload = Workload.coerce(workload)
-        if self.queries_answered + len(workload) > self.max_queries:
-            raise QueryBudgetExceeded(
-                f"workload of {len(workload)} queries exceeds the remaining "
-                f"budget of {self.remaining} (max {self.max_queries})"
-            )
-        answers = self.inner.answer_workload(workload)
-        self.queries_answered += len(workload)
-        return answers
+        self._reserve(len(workload))
+        try:
+            return self.inner.answer_workload(workload)
+        except Exception:
+            self._release(len(workload))
+            raise
 
     def _noisy(self, query: SubsetQuery) -> float:  # pragma: no cover - unused
         return self.inner._noisy(query)

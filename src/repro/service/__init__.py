@@ -1,0 +1,64 @@
+"""Interactive statistical-query service with privacy accounting.
+
+The deployment layer the paper's story presumes: Dinur-Nissim style
+reconstruction was demonstrated against a *production* query server
+("Linear Program Reconstruction in Practice", [13]), and the legal-theorem
+layer only bites once a mechanism sits behind an interface.  This
+subpackage is that interface, in-process:
+
+* :mod:`repro.service.server` — :class:`QueryServer`, multi-analyst
+  sessions routing queries and workloads to a configured mechanism;
+* :mod:`repro.service.accountant` — pluggable per-analyst/global epsilon
+  ledgers (basic and advanced composition) with all-or-nothing charges and
+  typed :class:`BudgetExhausted` refusals;
+* :mod:`repro.service.cache` — canonical query fingerprints and the answer
+  cache that makes repeated queries free and bit-identical (consistency);
+* :mod:`repro.service.audit` — the append-only audit log and the online
+  :class:`ReconstructionAuditor` that replays logged transcripts through
+  LP decoding and trips a per-analyst circuit breaker.
+
+Experiment E18 and ``benchmarks/bench_service_throughput.py`` exercise the
+whole stack end to end.
+"""
+
+from repro.service.accountant import (
+    AdvancedAccountant,
+    BasicAccountant,
+    BudgetExhausted,
+    ServiceAccountant,
+)
+from repro.service.audit import (
+    AuditLog,
+    AuditRecord,
+    AuditReport,
+    CircuitBreakerTripped,
+    ReconstructionAuditor,
+)
+from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.service.server import (
+    MECHANISM_FACTORIES,
+    AnalystSession,
+    QueryServer,
+    make_answerer,
+    per_query_epsilon,
+)
+
+__all__ = [
+    "AdvancedAccountant",
+    "AnalystSession",
+    "AnswerCache",
+    "AuditLog",
+    "AuditRecord",
+    "AuditReport",
+    "BasicAccountant",
+    "BudgetExhausted",
+    "CircuitBreakerTripped",
+    "MECHANISM_FACTORIES",
+    "QueryServer",
+    "ReconstructionAuditor",
+    "ServiceAccountant",
+    "make_answerer",
+    "per_query_epsilon",
+    "query_fingerprint",
+    "workload_fingerprints",
+]

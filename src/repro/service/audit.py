@@ -1,0 +1,312 @@
+"""Audit log and the online reconstruction-risk auditor.
+
+"Linear Program Reconstruction in Practice" (Cohen-Nissim, [13] in the
+paper) ran the Dinur-Nissim LP attack against a *production* query server;
+the lesson for operators is that the query log itself is the attack
+transcript.  This module turns that observation into a defense: the server
+appends every interaction to a structured :class:`AuditLog`, and a
+:class:`ReconstructionAuditor` periodically replays each analyst's logged
+(query, answer) transcript through the repository's own LP decoder
+(:func:`repro.reconstruction.lp_decode.reconstruct_from_answers`) and
+measures the agreement of the resulting candidate with the true private
+data.  The agreement *is* the analyst's current reconstruction capability
+— the auditor runs exactly the computation the attacker would — so when it
+crosses the configured threshold the auditor trips a per-analyst circuit
+breaker and the server refuses further queries from that session.
+
+Cached answers are replayed too (they were released), but duplicate
+fingerprints are collapsed: a repeated query adds no LP constraint, which
+is precisely why the answer cache is privacy-neutral.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.queries.query import _validate_binary
+from repro.queries.workload import Workload
+from repro.reconstruction.lp_decode import DEFAULT_LP_SOLVER, reconstruct_from_answers
+
+
+class CircuitBreakerTripped(RuntimeError):
+    """The auditor has flagged this analyst; the server refuses to answer.
+
+    Attributes:
+        analyst: the flagged session.
+        report: the :class:`AuditReport` that tripped the breaker.
+    """
+
+    def __init__(self, message: str, *, analyst: str, report: "AuditReport"):
+        super().__init__(message)
+        self.analyst = analyst
+        self.report = report
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One served query, as the append-only log stores it.
+
+    The packed mask is retained so the auditor can rebuild the exact
+    workload the analyst holds; ``cached`` marks answers replayed from the
+    cache (free, and redundant for reconstruction).
+    """
+
+    seq: int
+    analyst: str
+    fingerprint: bytes
+    n: int
+    query_size: int
+    packed_mask: bytes
+    answer: float
+    cached: bool
+    epsilon: float
+    timestamp: float
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (fingerprint and mask hex-encoded)."""
+        return {
+            "seq": self.seq,
+            "analyst": self.analyst,
+            "fingerprint": self.fingerprint.hex(),
+            "n": self.n,
+            "query_size": self.query_size,
+            "packed_mask": self.packed_mask.hex(),
+            "answer": self.answer,
+            "cached": self.cached,
+            "epsilon": self.epsilon,
+            "timestamp": self.timestamp,
+        }
+
+    def mask(self) -> np.ndarray:
+        """The query's boolean membership mask, unpacked."""
+        return np.unpackbits(
+            np.frombuffer(self.packed_mask, dtype=np.uint8), count=self.n
+        ).astype(bool)
+
+
+class AuditLog:
+    """Append-only, thread-safe structured log of every served query."""
+
+    def __init__(self):
+        self._records: list[AuditRecord] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def append(
+        self,
+        analyst: str,
+        fingerprint: bytes,
+        mask: np.ndarray,
+        answer: float,
+        cached: bool,
+        epsilon: float,
+    ) -> AuditRecord:
+        """Append one served query; the log assigns the sequence number."""
+        record_mask = np.asarray(mask, dtype=bool)
+        with self._lock:
+            record = AuditRecord(
+                seq=self._seq,
+                analyst=analyst,
+                fingerprint=fingerprint,
+                n=int(record_mask.size),
+                query_size=int(record_mask.sum()),
+                packed_mask=np.packbits(record_mask).tobytes(),
+                answer=float(answer),
+                cached=bool(cached),
+                epsilon=float(epsilon),
+                timestamp=time.time(),
+            )
+            self._records.append(record)
+            self._seq += 1
+            return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, analyst: str | None = None) -> tuple[AuditRecord, ...]:
+        """All records (optionally one analyst's), in append order."""
+        with self._lock:
+            snapshot = tuple(self._records)
+        if analyst is None:
+            return snapshot
+        return tuple(r for r in snapshot if r.analyst == analyst)
+
+    def unique_records(self, analyst: str) -> tuple[AuditRecord, ...]:
+        """One record per distinct fingerprint (first release wins).
+
+        This is the analyst's effective reconstruction transcript: repeats
+        replay the same released answer and add no information.
+        """
+        seen: set[bytes] = set()
+        unique = []
+        for record in self.records(analyst):
+            if record.fingerprint not in seen:
+                seen.add(record.fingerprint)
+                unique.append(record)
+        return tuple(unique)
+
+    def export_jsonl(self, path) -> int:
+        """Write the log as JSON lines; returns the number of records."""
+        snapshot = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in snapshot:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return len(snapshot)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """One auditor pass over an analyst's transcript."""
+
+    analyst: str
+    queries_logged: int
+    unique_queries: int
+    agreement: float
+    flagged: bool
+    mode: str
+    threshold: float
+    elapsed_seconds: float = field(compare=False, default=0.0)
+
+
+class ReconstructionAuditor:
+    """Replays analysts' logged transcripts through LP decoding.
+
+    The auditor is server-side infrastructure and therefore holds the true
+    private data: its agreement estimate is exact, not a proxy.  Auditing
+    is *periodic* — a pass runs whenever an analyst has accumulated
+    ``audit_every`` new unique queries past ``min_queries`` — because each
+    pass costs an LP solve.  A pass whose agreement reaches
+    ``agreement_threshold`` trips that analyst's circuit breaker; the
+    threshold therefore sits *below* the blatant-non-privacy bar the
+    operator wants to prevent (flag at 0.8 to stop reconstruction before it
+    reaches 0.9), and the audit cadence bounds how much an analyst can
+    learn between passes.
+
+    Args:
+        data: the server's private binary dataset.
+        agreement_threshold: trip when replayed agreement reaches this.
+        audit_every: run a pass every this-many new unique queries.
+        min_queries: no pass before an analyst has this many unique queries
+            (the LP is meaningless far below ``m ~ n``).
+        alpha: feasibility slack for the replay LP; ``None`` uses least-l1
+            decoding (the right mode for unbounded-noise mechanisms).
+        solver: HiGHS algorithm for the replay LP.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        agreement_threshold: float = 0.8,
+        audit_every: int = 64,
+        min_queries: int = 64,
+        alpha: float | None = None,
+        solver: str = DEFAULT_LP_SOLVER,
+    ):
+        data = np.asarray(data)
+        self._data = _validate_binary(data, data.size)
+        if not 0.5 < agreement_threshold <= 1.0:
+            raise ValueError("agreement_threshold must lie in (0.5, 1.0]")
+        if audit_every <= 0:
+            raise ValueError("audit_every must be positive")
+        if min_queries <= 0:
+            raise ValueError("min_queries must be positive")
+        self.agreement_threshold = float(agreement_threshold)
+        self.audit_every = int(audit_every)
+        self.min_queries = int(min_queries)
+        self.alpha = alpha
+        self.solver = solver
+        self._lock = threading.Lock()
+        self._audited_at: dict[str, int] = {}
+        self._tripped: dict[str, AuditReport] = {}
+        self._reports: list[AuditReport] = []
+
+    @property
+    def reports(self) -> tuple[AuditReport, ...]:
+        """Every pass run so far, in order."""
+        with self._lock:
+            return tuple(self._reports)
+
+    def is_tripped(self, analyst: str) -> bool:
+        """Whether ``analyst``'s circuit breaker is open."""
+        with self._lock:
+            return analyst in self._tripped
+
+    def tripped_report(self, analyst: str) -> AuditReport | None:
+        """The report that tripped ``analyst``, if any."""
+        with self._lock:
+            return self._tripped.get(analyst)
+
+    def check(self, analyst: str) -> None:
+        """Raise :class:`CircuitBreakerTripped` if ``analyst`` is flagged."""
+        report = self.tripped_report(analyst)
+        if report is not None:
+            raise CircuitBreakerTripped(
+                f"analyst {analyst!r} flagged by the reconstruction auditor "
+                f"(replayed agreement {report.agreement:.3f} >= "
+                f"{report.threshold})",
+                analyst=analyst,
+                report=report,
+            )
+
+    def maybe_audit(self, log: AuditLog, analyst: str) -> AuditReport | None:
+        """Run a pass if the analyst crossed the next audit checkpoint."""
+        unique = log.unique_records(analyst)
+        with self._lock:
+            if analyst in self._tripped:
+                return None
+            last = self._audited_at.get(analyst, 0)
+            due = (
+                len(unique) >= self.min_queries
+                and len(unique) - last >= self.audit_every
+            )
+            if not due:
+                return None
+            # Claim the checkpoint inside the lock so concurrent callers
+            # cannot both launch the same (expensive) pass.
+            self._audited_at[analyst] = len(unique)
+        return self._audit_records(log, analyst, unique)
+
+    def audit(self, log: AuditLog, analyst: str) -> AuditReport | None:
+        """Run a pass now (cadence ignored); ``None`` if too few queries."""
+        unique = log.unique_records(analyst)
+        if len(unique) < self.min_queries:
+            return None
+        with self._lock:
+            self._audited_at[analyst] = len(unique)
+        return self._audit_records(log, analyst, unique)
+
+    def _audit_records(
+        self, log: AuditLog, analyst: str, unique: Iterable[AuditRecord]
+    ) -> AuditReport:
+        unique = tuple(unique)
+        start = time.perf_counter()
+        workload = Workload(
+            np.stack([record.mask() for record in unique]), copy=False
+        )
+        answers = np.array([record.answer for record in unique], dtype=float)
+        result = reconstruct_from_answers(
+            workload, answers, alpha=self.alpha, solver=self.solver
+        )
+        agreement = result.agreement_with(self._data)
+        elapsed = time.perf_counter() - start
+        report = AuditReport(
+            analyst=analyst,
+            queries_logged=len(log.records(analyst)),
+            unique_queries=len(unique),
+            agreement=agreement,
+            flagged=agreement >= self.agreement_threshold,
+            mode=result.mode,
+            threshold=self.agreement_threshold,
+            elapsed_seconds=elapsed,
+        )
+        with self._lock:
+            self._reports.append(report)
+            if report.flagged:
+                self._tripped.setdefault(analyst, report)
+        return report

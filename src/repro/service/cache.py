@@ -1,0 +1,124 @@
+"""Canonical query fingerprints and the service answer cache.
+
+The paper's consistency requirement — ask the same question twice, get the
+same answer — is what kills averaging attacks against noisy mechanisms,
+and it comes for free operationally: a repeated query is served from cache
+with *zero* additional privacy charge, because replaying an already
+released answer is post-processing.
+
+A query's fingerprint is a 16-byte BLAKE2b digest of its dataset size and
+bit-packed membership mask, so two :class:`~repro.queries.query.SubsetQuery`
+objects over the same subset always collide (and queries over different
+``n`` never do, even when their packed masks share bytes).  Whole workloads
+fingerprint in one vectorized ``packbits`` pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+
+
+def query_fingerprint(query: SubsetQuery | np.ndarray) -> bytes:
+    """The 16-byte canonical fingerprint of one subset query."""
+    mask = query.mask if isinstance(query, SubsetQuery) else mask_arg(query)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(int(mask.size).to_bytes(8, "little"))
+    digest.update(np.packbits(mask).tobytes())
+    return digest.digest()
+
+
+def mask_arg(mask: np.ndarray) -> np.ndarray:
+    """Normalize a raw mask argument to a 1-D boolean array."""
+    array = np.asarray(mask, dtype=bool)
+    if array.ndim != 1:
+        raise ValueError("a query mask must be one-dimensional")
+    return array
+
+
+def workload_fingerprints(workload: Workload) -> list[bytes]:
+    """Per-row fingerprints of a packed workload, in row order.
+
+    Equivalent to ``[query_fingerprint(q) for q in workload]`` but the bit
+    packing runs once over the whole ``(m, n)`` matrix.
+    """
+    packed = np.packbits(workload.masks, axis=1)
+    prefix = int(workload.n).to_bytes(8, "little")
+    fingerprints = []
+    for row in packed:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(prefix)
+        digest.update(row.tobytes())
+        fingerprints.append(digest.digest())
+    return fingerprints
+
+
+class AnswerCache:
+    """Fingerprint -> released answer, with LRU eviction and hit statistics.
+
+    Thread-safe; the server consults it before the accountant so cache hits
+    are free (no budget charge) and bit-identical to the first release.
+    ``max_entries=None`` means unbounded (the default — consistency is a
+    privacy property, so evicting is a deliberate trade-off: an evicted
+    query re-answered draws fresh noise and *is* charged again).
+    """
+
+    def __init__(self, max_entries: int | None = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive when set")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, float] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, fingerprint: bytes) -> float | None:
+        """The cached answer, or ``None``; counts a hit or miss."""
+        with self._lock:
+            answer = self._entries.get(fingerprint)
+            if answer is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            if self.max_entries is not None:
+                self._entries.move_to_end(fingerprint)
+            return answer
+
+    def put(self, fingerprint: bytes, answer: float) -> None:
+        """Record a released answer, evicting the LRU entry when full."""
+        with self._lock:
+            self._entries[fingerprint] = float(answer)
+            if self.max_entries is not None:
+                self._entries.move_to_end(fingerprint)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+    def lookup_many(self, fingerprints: list[bytes]) -> list[float | None]:
+        """Batch :meth:`get`, one lock acquisition for the whole workload."""
+        with self._lock:
+            results: list[float | None] = []
+            for fingerprint in fingerprints:
+                answer = self._entries.get(fingerprint)
+                if answer is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
+                    if self.max_entries is not None:
+                        self._entries.move_to_end(fingerprint)
+                results.append(answer)
+            return results

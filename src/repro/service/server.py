@@ -1,0 +1,313 @@
+"""The in-process statistical-query server.
+
+:class:`QueryServer` is the deployment-shaped front end the paper's story
+needs: analysts open named sessions and ask subset-count queries (one at a
+time or as packed :class:`~repro.queries.workload.Workload` batches); the
+server routes them through a configured answering mechanism, charges a
+pluggable privacy accountant *before* computing anything, serves repeated
+queries from a per-analyst answer cache for free, appends every release to
+the audit log, and lets the online reconstruction auditor trip a
+per-analyst circuit breaker.
+
+The request path, in order (each step can refuse without side effects from
+the later ones)::
+
+    session.ask(q) ──► breaker check ──► cache ──► accountant ──► mechanism
+                                                        │             │
+                                                   BudgetExhausted    ▼
+                                                               audit log ──► auditor
+
+Concurrency model: every analyst owns an answerer instance (same private
+data, its own ``derive_rng(seed, "service", analyst)`` noise stream) and an
+answer cache, and requests serialize per analyst.  Cross-analyst state (the
+accountant, the audit log, the auditor) carries its own locks.  The result
+is that a fixed server seed gives every analyst a bit-identical answer
+stream regardless of how concurrent sessions interleave — determinism is
+per session, which is the only kind an interactive service can promise.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.queries.mechanism import (
+    BoundedNoiseAnswerer,
+    ExactAnswerer,
+    GaussianAnswerer,
+    LaplaceAnswerer,
+    QueryAnswerer,
+    RoundingAnswerer,
+    SubsamplingAnswerer,
+)
+from repro.queries.query import SubsetQuery, _validate_binary
+from repro.queries.workload import Workload
+from repro.service.accountant import BasicAccountant, ServiceAccountant
+from repro.service.audit import AuditLog, ReconstructionAuditor
+from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.utils.rng import RngSeed, derive_rng
+
+#: Mechanism spec -> factory(data, rng, **params).  "subsample" is the
+#: subsample-and-aggregate style answerer; "exact" is the blatantly
+#: non-private baseline the reconstruction experiments attack.
+MECHANISM_FACTORIES: dict[str, Callable[..., QueryAnswerer]] = {
+    "exact": lambda data, rng, **p: ExactAnswerer(data),
+    "laplace": lambda data, rng, **p: LaplaceAnswerer(
+        data, epsilon_per_query=p.get("epsilon_per_query", 0.5), rng=rng
+    ),
+    "gaussian": lambda data, rng, **p: GaussianAnswerer(
+        data,
+        epsilon_per_query=p.get("epsilon_per_query", 0.5),
+        delta_per_query=p.get("delta_per_query", 1e-6),
+        rng=rng,
+    ),
+    "subsample": lambda data, rng, **p: SubsamplingAnswerer(
+        data, rate=p.get("rate", 0.5), rng=rng
+    ),
+    "bounded": lambda data, rng, **p: BoundedNoiseAnswerer(
+        data,
+        alpha=p.get("alpha", 1.0),
+        shape=p.get("shape", "uniform"),
+        rng=rng,
+    ),
+    "rounding": lambda data, rng, **p: RoundingAnswerer(data, step=p.get("step", 2)),
+}
+
+
+def make_answerer(
+    mechanism: str | Callable[..., QueryAnswerer],
+    data: np.ndarray,
+    rng: RngSeed = None,
+    **params,
+) -> QueryAnswerer:
+    """Build an answerer from a spec string or a ``(data, rng)`` callable."""
+    if callable(mechanism):
+        return mechanism(data, rng, **params)
+    try:
+        factory = MECHANISM_FACTORIES[mechanism]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {mechanism!r}; known: {sorted(MECHANISM_FACTORIES)}"
+        ) from None
+    return factory(data, rng, **params)
+
+
+def per_query_epsilon(answerer: QueryAnswerer) -> float:
+    """The epsilon one answer costs: the mechanism's declared rate, else 0.
+
+    Non-DP mechanisms (exact, rounding, subsampling, bounded noise) charge
+    0 — no finite epsilon describes them, so the accountant can only bound
+    them by query count (``max_queries_per_analyst``).
+    """
+    return float(getattr(answerer, "epsilon_per_query", 0.0))
+
+
+@dataclass
+class _AnalystState:
+    """Per-analyst serving state: answerer, cache, serialization lock."""
+
+    answerer: QueryAnswerer
+    cache: AnswerCache
+    lock: threading.Lock
+    epsilon_per_query: float
+
+
+class AnalystSession:
+    """One analyst's handle on the server; thin, cheap, reusable."""
+
+    def __init__(self, server: "QueryServer", analyst: str):
+        self._server = server
+        self.analyst = analyst
+
+    def ask(self, query: SubsetQuery) -> float:
+        """Answer one query (cache-first, budget-charged, logged)."""
+        return self._server.ask(self.analyst, query)
+
+    def ask_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
+        """Answer a whole workload in one batched pass."""
+        return self._server.ask_workload(self.analyst, workload)
+
+    @property
+    def epsilon_spent(self) -> float:
+        """This analyst's composed epsilon so far."""
+        return self._server.accountant.analyst_epsilon(self.analyst)
+
+    @property
+    def queries_charged(self) -> int:
+        """Fresh (non-cached) queries charged to this analyst."""
+        return self._server.accountant.analyst_queries(self.analyst)
+
+    @property
+    def cache(self) -> AnswerCache:
+        """This analyst's answer cache (hit statistics live here)."""
+        return self._server._state(self.analyst).cache
+
+
+class QueryServer:
+    """Multi-analyst statistical-query service over one private dataset.
+
+    Args:
+        data: the private binary dataset, validated once here.
+        mechanism: a spec from :data:`MECHANISM_FACTORIES` or a callable
+            ``(data, rng, **params) -> QueryAnswerer``.
+        mechanism_params: forwarded to the mechanism factory.
+        accountant: the privacy ledger; defaults to an unlimited
+            :class:`~repro.service.accountant.BasicAccountant`.
+        auditor: an optional :class:`ReconstructionAuditor`; when set, every
+            served request may trigger a replay pass and a tripped analyst
+            is refused with ``CircuitBreakerTripped``.
+        cache_entries: per-analyst cache capacity (``None`` = unbounded).
+        seed: master seed; analyst noise streams derive from it by name.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        mechanism: str | Callable[..., QueryAnswerer] = "laplace",
+        mechanism_params: dict | None = None,
+        accountant: ServiceAccountant | None = None,
+        auditor: ReconstructionAuditor | None = None,
+        cache_entries: int | None = None,
+        seed: int = 0,
+    ):
+        array = np.asarray(data)
+        self._data = _validate_binary(array, array.size)
+        self.mechanism = mechanism
+        self.mechanism_params = dict(mechanism_params or {})
+        self.accountant = accountant if accountant is not None else BasicAccountant()
+        self.auditor = auditor
+        self.audit_log = AuditLog()
+        self.cache_entries = cache_entries
+        self.seed = seed
+        self._states: dict[str, _AnalystState] = {}
+        self._states_lock = threading.Lock()
+
+    @property
+    def n(self) -> int:
+        """Size of the private dataset."""
+        return int(self._data.size)
+
+    @property
+    def analysts(self) -> tuple[str, ...]:
+        """Analysts with open sessions, in creation order."""
+        with self._states_lock:
+            return tuple(self._states)
+
+    def session(self, analyst: str) -> AnalystSession:
+        """Open (or re-enter) the named analyst's session."""
+        self._state(analyst)
+        return AnalystSession(self, analyst)
+
+    def _state(self, analyst: str) -> _AnalystState:
+        with self._states_lock:
+            state = self._states.get(analyst)
+            if state is None:
+                answerer = make_answerer(
+                    self.mechanism,
+                    self._data,
+                    rng=derive_rng(self.seed, "service", analyst),
+                    **self.mechanism_params,
+                )
+                state = _AnalystState(
+                    answerer=answerer,
+                    cache=AnswerCache(max_entries=self.cache_entries),
+                    lock=threading.Lock(),
+                    epsilon_per_query=per_query_epsilon(answerer),
+                )
+                self._states[analyst] = state
+            return state
+
+    def ask(self, analyst: str, query: SubsetQuery) -> float:
+        """Answer one query for ``analyst``; the single-query hot path."""
+        if query.n != self.n:
+            raise ValueError(f"query addresses n={query.n}, data has n={self.n}")
+        state = self._state(analyst)
+        with state.lock:
+            if self.auditor is not None:
+                self.auditor.check(analyst)
+            fingerprint = query_fingerprint(query)
+            cached = state.cache.get(fingerprint)
+            if cached is not None:
+                self.audit_log.append(
+                    analyst, fingerprint, query.mask, cached, True, 0.0
+                )
+                return cached
+            epsilon = state.epsilon_per_query
+            self.accountant.charge(analyst, 1, epsilon)
+            answer = state.answerer.answer(query)
+            state.cache.put(fingerprint, answer)
+            self.audit_log.append(analyst, fingerprint, query.mask, answer, False, epsilon)
+            if self.auditor is not None:
+                self.auditor.maybe_audit(self.audit_log, analyst)
+            return answer
+
+    def ask_workload(
+        self, analyst: str, workload: Workload | Sequence[SubsetQuery]
+    ) -> np.ndarray:
+        """Answer a packed workload for ``analyst`` in one batched pass.
+
+        Cache hits (and within-workload duplicates) are free; the remaining
+        unique queries are charged all-or-nothing — if the accountant
+        refuses, *nothing* is answered, cached, or logged — then answered
+        with one vectorized mechanism call.
+        """
+        workload = Workload.coerce(workload)
+        if workload.n != self.n:
+            raise ValueError(f"workload addresses n={workload.n}, data has n={self.n}")
+        state = self._state(analyst)
+        with state.lock:
+            if self.auditor is not None:
+                self.auditor.check(analyst)
+            fingerprints = workload_fingerprints(workload)
+            looked_up = state.cache.lookup_many(fingerprints)
+            miss_rows: list[int] = []
+            miss_fps: list[bytes] = []
+            seen: set[bytes] = set()
+            for row, (fingerprint, hit) in enumerate(zip(fingerprints, looked_up)):
+                if hit is None and fingerprint not in seen:
+                    seen.add(fingerprint)
+                    miss_rows.append(row)
+                    miss_fps.append(fingerprint)
+            epsilon = state.epsilon_per_query
+            answer_by_fp: dict[bytes, float] = {
+                fingerprint: hit
+                for fingerprint, hit in zip(fingerprints, looked_up)
+                if hit is not None
+            }
+            if miss_rows:
+                # May raise BudgetExhausted: all-or-nothing, nothing served.
+                self.accountant.charge(analyst, len(miss_rows), epsilon)
+                sub_workload = Workload(workload.masks[miss_rows], copy=False)
+                fresh = state.answerer.answer_workload(sub_workload)
+                for fingerprint, answer in zip(miss_fps, fresh):
+                    state.cache.put(fingerprint, answer)
+                    answer_by_fp[fingerprint] = float(answer)
+            answers = np.array(
+                [answer_by_fp[fingerprint] for fingerprint in fingerprints],
+                dtype=np.float64,
+            )
+            fresh_rows = set(miss_rows)
+            masks = workload.masks
+            for row, fingerprint in enumerate(fingerprints):
+                is_fresh = row in fresh_rows
+                self.audit_log.append(
+                    analyst,
+                    fingerprint,
+                    masks[row],
+                    answers[row],
+                    not is_fresh,
+                    epsilon if is_fresh else 0.0,
+                )
+            if self.auditor is not None:
+                self.auditor.maybe_audit(self.audit_log, analyst)
+            return answers
+
+    def __repr__(self) -> str:
+        mechanism = self.mechanism if isinstance(self.mechanism, str) else "custom"
+        return (
+            f"QueryServer(n={self.n}, mechanism={mechanism!r}, "
+            f"analysts={len(self.analysts)}, served={len(self.audit_log)})"
+        )

@@ -103,6 +103,18 @@ class TestExtensionExperiments:
         assert result.headline["auc_wide_panel"] >= 0.95
         assert result.headline["auc_noisy_release"] <= 0.8
 
+    def test_e18_service_audit(self):
+        result = run_experiment("E18", quick=True)
+        # The auditor catches the LP attacker before blatant non-privacy...
+        assert result.headline["attacker_flagged"] is True
+        assert result.headline["agreement_at_trip"] < 0.9
+        # ...while benign sessions stay unflagged and the cache stays
+        # consistent (bit-identical replays, high hit rate, no recharge).
+        assert result.headline["dashboard_flagged"] is False
+        assert result.headline["researcher_flagged"] is False
+        assert result.headline["dashboard_cache_hit_rate"] >= 0.9
+        assert result.headline["dashboard_replay_drift"] == 0.0
+
 
 class TestFigures:
     def test_e3_and_e8_carry_figures(self):

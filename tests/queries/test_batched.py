@@ -15,6 +15,7 @@ from repro.queries.mechanism import (
     BoundedNoiseAnswerer,
     BudgetedAnswerer,
     ExactAnswerer,
+    GaussianAnswerer,
     LaplaceAnswerer,
     QueryBudgetExceeded,
     RoundingAnswerer,
@@ -61,6 +62,12 @@ ANSWERER_FACTORIES = [
         "laplace",
         lambda data, seed: LaplaceAnswerer(
             data, epsilon_per_query=0.7, rng=derive_rng(seed, "l")
+        ),
+    ),
+    (
+        "gaussian",
+        lambda data, seed: GaussianAnswerer(
+            data, epsilon_per_query=0.9, delta_per_query=1e-5, rng=derive_rng(seed, "g")
         ),
     ),
     (

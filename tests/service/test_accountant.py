@@ -1,0 +1,132 @@
+"""Accountant semantics: composition rules, budgets, all-or-nothing charges."""
+
+import pytest
+
+from repro.dp.composition import advanced_composition
+from repro.service import AdvancedAccountant, BasicAccountant, BudgetExhausted
+
+
+class TestBasicAccountant:
+    def test_epsilons_add(self):
+        accountant = BasicAccountant()
+        accountant.charge("a", 4, 0.5)
+        accountant.charge("a", 2, 0.25)
+        assert accountant.analyst_epsilon("a") == pytest.approx(2.5)
+        assert accountant.analyst_queries("a") == 6
+
+    def test_global_is_sum_over_analysts(self):
+        accountant = BasicAccountant()
+        accountant.charge("a", 2, 1.0)
+        accountant.charge("b", 3, 1.0)
+        assert accountant.global_spent() == pytest.approx(5.0)
+
+    def test_per_analyst_budget_refuses(self):
+        accountant = BasicAccountant(per_analyst_epsilon=1.0)
+        accountant.charge("a", 3, 0.25)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            accountant.charge("a", 2, 0.25)
+        assert excinfo.value.scope == "analyst"
+        assert excinfo.value.analyst == "a"
+        assert excinfo.value.budget == 1.0
+
+    def test_all_or_nothing_leaves_ledger_unchanged(self):
+        accountant = BasicAccountant(per_analyst_epsilon=1.0)
+        accountant.charge("a", 1, 0.5)
+        with pytest.raises(BudgetExhausted):
+            accountant.charge("a", 10, 0.5)
+        # Nothing from the refused batch was recorded.
+        assert accountant.analyst_epsilon("a") == pytest.approx(0.5)
+        assert accountant.analyst_queries("a") == 1
+        # An exactly-fitting charge still goes through afterwards.
+        accountant.charge("a", 1, 0.5)
+        assert accountant.remaining_epsilon("a") == pytest.approx(0.0)
+
+    def test_global_budget_spans_analysts(self):
+        accountant = BasicAccountant(global_epsilon=1.0)
+        accountant.charge("a", 3, 0.25)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            accountant.charge("b", 2, 0.25)
+        assert excinfo.value.scope == "global"
+        accountant.charge("b", 1, 0.25)  # exactly fills the global budget
+
+    def test_query_count_budget(self):
+        accountant = BasicAccountant(max_queries_per_analyst=5)
+        accountant.charge("a", 5, 0.0)
+        with pytest.raises(BudgetExhausted) as excinfo:
+            accountant.charge("a", 1, 0.0)
+        assert excinfo.value.scope == "queries"
+        # Other analysts are unaffected.
+        accountant.charge("b", 5, 0.0)
+
+    def test_zero_count_is_free(self):
+        accountant = BasicAccountant(per_analyst_epsilon=0.1)
+        accountant.charge("a", 0, 10.0)
+        assert accountant.analyst_epsilon("a") == 0.0
+
+    def test_unlimited_remaining_is_none(self):
+        assert BasicAccountant().remaining_epsilon("a") is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BasicAccountant(per_analyst_epsilon=0.0)
+        with pytest.raises(ValueError):
+            BasicAccountant(global_epsilon=-1.0)
+        with pytest.raises(ValueError):
+            BasicAccountant(max_queries_per_analyst=0)
+        accountant = BasicAccountant()
+        with pytest.raises(ValueError):
+            accountant.charge("a", -1, 0.5)
+        with pytest.raises(ValueError):
+            accountant.charge("a", 1, -0.5)
+
+
+class TestAdvancedAccountant:
+    def test_matches_dp_composition_bound(self):
+        accountant = AdvancedAccountant(delta_prime=1e-6)
+        accountant.charge("a", 100, 0.1)
+        expected, _delta = advanced_composition(0.1, 100, 1e-6)
+        assert accountant.analyst_epsilon("a") == pytest.approx(expected)
+
+    def test_sublinear_beats_basic_at_scale(self):
+        advanced = AdvancedAccountant(delta_prime=1e-6)
+        basic = BasicAccountant()
+        advanced.charge("a", 1000, 0.05)
+        basic.charge("a", 1000, 0.05)
+        assert advanced.analyst_epsilon("a") < basic.analyst_epsilon("a")
+
+    def test_never_looser_than_basic(self):
+        # For tiny k the sqrt bound exceeds k*eps; the accountant caps at basic.
+        accountant = AdvancedAccountant(delta_prime=1e-6)
+        accountant.charge("a", 2, 0.1)
+        assert accountant.analyst_epsilon("a") <= 0.2 + 1e-12
+
+    def test_single_spend_is_exact(self):
+        accountant = AdvancedAccountant()
+        accountant.charge("a", 1, 0.3)
+        assert accountant.analyst_epsilon("a") == pytest.approx(0.3)
+
+    def test_budget_admits_more_queries_than_basic(self):
+        budget = 2.0
+        basic = BasicAccountant(per_analyst_epsilon=budget)
+        advanced = AdvancedAccountant(per_analyst_epsilon=budget, delta_prime=1e-6)
+        basic_queries = 0
+        try:
+            while True:
+                basic.charge("a", 50, 0.01)
+                basic_queries += 50
+        except BudgetExhausted:
+            pass
+        advanced_queries = 0
+        try:
+            while advanced_queries < 100_000:
+                advanced.charge("a", 50, 0.01)
+                advanced_queries += 50
+        except BudgetExhausted:
+            pass
+        assert advanced_queries > basic_queries
+
+    def test_invalid_delta_prime(self):
+        with pytest.raises(ValueError):
+            AdvancedAccountant(delta_prime=0.0)
+        with pytest.raises(ValueError):
+            AdvancedAccountant(delta_prime=1.0)

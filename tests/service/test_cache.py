@@ -1,0 +1,81 @@
+"""Fingerprint canonicality and answer-cache behavior."""
+
+import numpy as np
+import pytest
+
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.service import AnswerCache, query_fingerprint, workload_fingerprints
+
+
+class TestFingerprints:
+    def test_same_subset_same_fingerprint(self):
+        a = SubsetQuery(np.array([True, False, True, False]))
+        b = SubsetQuery.from_indices([0, 2], 4)
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_different_subsets_differ(self):
+        a = SubsetQuery.from_indices([0, 2], 4)
+        b = SubsetQuery.from_indices([0, 3], 4)
+        assert query_fingerprint(a) != query_fingerprint(b)
+
+    def test_n_disambiguates_packed_padding(self):
+        # [1,0,1] and [1,0,1,0,...,0] pack to the same byte; the length
+        # prefix must keep their fingerprints distinct.
+        short = SubsetQuery(np.array([True, False, True]))
+        padded = SubsetQuery.from_indices([0, 2], 8)
+        assert query_fingerprint(short) != query_fingerprint(padded)
+
+    def test_accepts_raw_masks(self):
+        mask = np.array([True, False, True])
+        assert query_fingerprint(mask) == query_fingerprint(SubsetQuery(mask))
+
+    def test_workload_fingerprints_match_per_query(self):
+        workload = Workload.random(33, 20, rng=0)
+        batched = workload_fingerprints(workload)
+        assert batched == [query_fingerprint(query) for query in workload]
+
+    def test_fingerprint_is_16_bytes(self):
+        assert len(query_fingerprint(SubsetQuery.from_indices([1], 5))) == 16
+
+
+class TestAnswerCache:
+    def test_miss_then_hit(self):
+        cache = AnswerCache()
+        fp = b"\x00" * 16
+        assert cache.get(fp) is None
+        cache.put(fp, 3.5)
+        assert cache.get(fp) == 3.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lookup_many_counts_stats(self):
+        cache = AnswerCache()
+        cache.put(b"a" * 16, 1.0)
+        results = cache.lookup_many([b"a" * 16, b"b" * 16, b"a" * 16])
+        assert results == [1.0, None, 1.0]
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = AnswerCache(max_entries=2)
+        cache.put(b"a", 1.0)
+        cache.put(b"b", 2.0)
+        assert cache.get(b"a") == 1.0  # refresh "a"; "b" is now LRU
+        cache.put(b"c", 3.0)
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == 1.0
+        assert cache.get(b"c") == 3.0
+        assert len(cache) == 2
+
+    def test_unbounded_by_default(self):
+        cache = AnswerCache()
+        for value in range(1000):
+            cache.put(value.to_bytes(4, "little"), float(value))
+        assert len(cache) == 1000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AnswerCache(max_entries=0)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert AnswerCache().hit_rate == 0.0

@@ -42,6 +42,7 @@ class TestTopLevelExports:
             "repro.legal",
             "repro.lm",
             "repro.ml",
+            "repro.service",
             "repro.experiments",
         ):
             module = importlib.import_module(name)
@@ -60,6 +61,7 @@ class TestTopLevelExports:
             "repro.attacks",
             "repro.legal",
             "repro.reconstruction",
+            "repro.service",
         ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):
