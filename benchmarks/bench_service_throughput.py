@@ -26,6 +26,12 @@ served with the reconstruction auditor disabled and enabled (audit pass
 every ``n/8`` fresh queries); the slowdown is the price of online LP
 replay, amortized per query.
 
+**Baseline guard (full mode only).**  The kernel-delegated answering paths
+must stay within ``GUARD_TOLERANCE`` of the recorded baselines: the
+cached-replay and batched numbers in ``BENCH_service.json``, and the
+batched-answering numbers in ``BENCH_reconstruction.json`` (replicated via
+``bench_lp_reconstruction.bench_answering``, best of three passes).
+
 Results are written to ``BENCH_service.json`` (see ``--output``).
 """
 
@@ -34,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import threading
 import time
 from pathlib import Path
@@ -51,6 +58,9 @@ from repro.utils.rng import derive_rng
 
 #: The ISSUE acceptance bar for the cached per-query path.
 MIN_CACHED_QPS = 10_000.0
+
+#: Allowed throughput regression against the recorded baselines (fraction).
+GUARD_TOLERANCE = 0.10
 
 
 def _make_server(n: int, seed: int, auditor: ReconstructionAuditor | None = None) -> QueryServer:
@@ -194,6 +204,66 @@ def bench_auditor_overhead(n: int, seed: int) -> dict:
     }
 
 
+def _load_baseline(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def guard_against_baselines(single: dict, repo_root: Path, seed: int) -> list[str]:
+    """Assert the kernel-delegated answering paths hold the recorded numbers.
+
+    Compares one-sidedly — a run may be faster than its baseline, but more
+    than ``GUARD_TOLERANCE`` slower fails.  Each check that runs is
+    reported; baselines that are missing or recorded at other sizes are
+    skipped silently (there is nothing to regress against).
+    """
+    checks: list[str] = []
+
+    service = _load_baseline(repo_root / "BENCH_service.json")
+    if service and not service.get("smoke"):
+        base = service.get("single_session", {})
+        if base.get("n") == single["n"] and base.get("queries") == single["queries"]:
+            for key in ("cached_qps", "batched_qps"):
+                floor = base[key] * (1.0 - GUARD_TOLERANCE)
+                assert single[key] >= floor, (
+                    f"{key} regressed: {single[key]:,.0f} q/s < "
+                    f"{floor:,.0f} q/s ({(1 - GUARD_TOLERANCE):.0%} of the "
+                    f"recorded {base[key]:,.0f} q/s baseline)"
+                )
+                checks.append(
+                    f"service {key}: {single[key]:,.0f} q/s >= {floor:,.0f} q/s"
+                )
+
+    reconstruction = _load_baseline(repo_root / "BENCH_reconstruction.json")
+    if reconstruction and reconstruction.get("answering"):
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        try:
+            from bench_lp_reconstruction import bench_answering
+        finally:
+            sys.path.pop(0)
+        recon_seed = int(reconstruction.get("seed", seed))
+        for entry in reconstruction["answering"]:
+            n, m = int(entry["n"]), int(entry["m"])
+            best = min(
+                bench_answering(n, recon_seed)["batched_seconds"] for _ in range(3)
+            )
+            live_qps = m / max(best, 1e-9)
+            base_qps = m / max(float(entry["batched_seconds"]), 1e-9)
+            floor = base_qps * (1.0 - GUARD_TOLERANCE)
+            assert live_qps >= floor, (
+                f"batched answering at n={n} regressed: {live_qps:,.0f} q/s < "
+                f"{floor:,.0f} q/s ({(1 - GUARD_TOLERANCE):.0%} of the "
+                f"recorded {base_qps:,.0f} q/s baseline)"
+            )
+            checks.append(
+                f"reconstruction answering n={n}: {live_qps:,.0f} q/s >= "
+                f"{floor:,.0f} q/s"
+            )
+    return checks
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
@@ -243,6 +313,13 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
 
+    guard_checks: list[str] = []
+    if not args.smoke:
+        repo_root = Path(__file__).resolve().parent.parent
+        guard_checks = guard_against_baselines(single, repo_root, args.seed)
+        for line in guard_checks:
+            print(f"guard: {line}", flush=True)
+
     payload = {
         "benchmark": "service_throughput",
         "smoke": args.smoke,
@@ -251,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "min_cached_qps_bar": MIN_CACHED_QPS,
+        "guard_tolerance": GUARD_TOLERANCE,
+        "baseline_guard": guard_checks,
         "single_session": single,
         "concurrent": concurrent,
         "auditor": audit,

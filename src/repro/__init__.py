@@ -64,6 +64,7 @@ from repro.legal.theorems import (
     legal_theorem_2_1,
     working_party_comparison,
 )
+from repro.privacy import MechanismSpec, PrivacySpend
 from repro.service import (
     BudgetExhausted,
     CircuitBreakerTripped,
@@ -87,11 +88,13 @@ __all__ = [
     "KAnonymityMechanism",
     "KAnonymityPSOAttacker",
     "Mechanism",
+    "MechanismSpec",
     "PSOContext",
     "PSOGame",
     "PSOGameResult",
     "PostProcessedMechanism",
     "Predicate",
+    "PrivacySpend",
     "QueryServer",
     "ReconstructionAuditor",
     "TheoremCheck",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.genomes import GenomePanel
+from repro.privacy.kernels import LaplaceKernel
 from repro.utils.rng import RngSeed, ensure_rng
 
 
@@ -99,8 +100,9 @@ def membership_experiment(
     cohort = panel.sample_genotypes(cohort_size, generator)
     published = panel.aggregate_frequencies(cohort)
     if noise_scale > 0:
+        kernel = LaplaceKernel(noise_scale)
         published = np.clip(
-            published + generator.laplace(0.0, noise_scale, size=published.shape),
+            published + kernel.sample_n(generator, published.shape),
             0.0,
             1.0,
         )

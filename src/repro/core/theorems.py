@@ -34,7 +34,7 @@ from repro.core.mechanisms import (
 from repro.core.pso import PSOGame, PSOGameResult
 from repro.data.distributions import uniform_bits_distribution
 from repro.dp.laplace import LaplaceMechanism
-from repro.dp.verify import verify_dp
+from repro.dp.verify import verify_spec
 from repro.utils.parallel import parallel_map
 from repro.utils.rng import RngSeed, derive_rng
 
@@ -388,11 +388,12 @@ def check_laplace_is_dp(
     mechanism = LaplaceMechanism(epsilon, sensitivity=1.0)
     x = np.array([1, 0, 1, 1, 0])
     x_prime = np.array([1, 0, 1, 0, 0])  # one record changed
-    verdict = verify_dp(
-        lambda data, generator: mechanism.release(float(np.sum(data)), generator),
+    # The spec under test is the same object an accountant would charge:
+    # kernel, sensitivity, and claimed epsilon travel together.
+    verdict = verify_spec(
+        mechanism.spec(),
         x,
         x_prime,
-        epsilon=epsilon,
         trials=trials,
         rng=derive_rng(rng, "thm1.3"),
     )

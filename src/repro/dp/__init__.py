@@ -8,23 +8,31 @@ epsilon-differentially private") is checked by measurement rather than
 assumed.
 """
 
-from repro.dp.composition import PrivacyAccountant, advanced_composition, basic_composition
+from repro.dp.composition import (
+    BudgetExhausted,
+    PrivacyAccountant,
+    PrivacySpend,
+    advanced_composition,
+    basic_composition,
+)
 from repro.dp.exponential import ExponentialMechanism
 from repro.dp.gaussian import GaussianMechanism
 from repro.dp.laplace import GeometricMechanism, LaplaceMechanism, private_count
 from repro.dp.randomized_response import RandomizedResponse
 from repro.dp.sparse_vector import AboveThreshold, SparseVectorOutcome, sparse_count_queries
 from repro.dp.tabular import dp_block_tables, dp_tabulation
-from repro.dp.verify import DPVerdict, verify_dp
+from repro.dp.verify import DPVerdict, verify_dp, verify_spec
 
 __all__ = [
     "AboveThreshold",
+    "BudgetExhausted",
     "DPVerdict",
     "ExponentialMechanism",
     "GaussianMechanism",
     "GeometricMechanism",
     "LaplaceMechanism",
     "PrivacyAccountant",
+    "PrivacySpend",
     "RandomizedResponse",
     "SparseVectorOutcome",
     "advanced_composition",
@@ -34,4 +42,5 @@ __all__ = [
     "private_count",
     "sparse_count_queries",
     "verify_dp",
+    "verify_spec",
 ]

@@ -1,136 +1,31 @@
-"""Composition of differential privacy guarantees.
+"""Composition of differential privacy guarantees (re-export shim).
 
-Section 1.1 of the paper singles out closure under composition as the
-property separating differential privacy from k-anonymity ("the result of
-applying two or more differentially private analyses ... preserves
-differential privacy, albeit with worse privacy loss parameter").  This
-module provides basic and advanced composition bounds and a
-:class:`PrivacyAccountant` that tracks spends across an analysis session.
+The composition math and the accountant moved to
+:mod:`repro.privacy.accounting` in PR 4, where they are shared with the
+service layer's multi-analyst accountants (one ledger implementation, no
+drift between layers).  This module remains so that
+``from repro.dp.composition import PrivacyAccountant`` keeps working.
+
+Note the unified :class:`~repro.privacy.accounting.PrivacyAccountant`
+raises :class:`~repro.privacy.accounting.BudgetExhausted` — a
+``RuntimeError`` subclass, so existing ``except RuntimeError`` handlers
+are unaffected — and additionally offers all-or-nothing
+``reserve``/``rollback`` batch charging and an optional query-count
+budget.
 """
 
-from __future__ import annotations
+from repro.privacy.accounting import (
+    BudgetExhausted,
+    PrivacyAccountant,
+    PrivacySpend,
+    advanced_composition,
+    basic_composition,
+)
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-
-@dataclass(frozen=True)
-class PrivacySpend:
-    """One (epsilon, delta) charge with an optional label for auditing."""
-
-    epsilon: float
-    delta: float = 0.0
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if self.epsilon < 0:
-            raise ValueError("epsilon must be non-negative")
-        if not 0 <= self.delta < 1:
-            raise ValueError("delta must lie in [0, 1)")
-
-
-def basic_composition(spends: list[PrivacySpend]) -> tuple[float, float]:
-    """Sequential (basic) composition: epsilons and deltas add."""
-    if not spends:
-        return 0.0, 0.0
-    return (
-        float(sum(s.epsilon for s in spends)),
-        float(sum(s.delta for s in spends)),
-    )
-
-
-def advanced_composition(
-    epsilon: float, k: int, delta_prime: float
-) -> tuple[float, float]:
-    """Advanced composition of ``k`` epsilon-DP mechanisms.
-
-    Returns the (epsilon', k*0 + delta') guarantee with
-    ``epsilon' = sqrt(2 k ln(1/delta')) * epsilon + k * epsilon *
-    (e^epsilon - 1)`` — the sqrt(k) scaling that makes high-query-count
-    DP analyses feasible at all.
-    """
-    if epsilon <= 0:
-        raise ValueError("epsilon must be positive")
-    if k <= 0:
-        raise ValueError("k must be positive")
-    if not 0 < delta_prime < 1:
-        raise ValueError("delta_prime must lie in (0, 1)")
-    epsilon_total = float(
-        np.sqrt(2.0 * k * np.log(1.0 / delta_prime)) * epsilon
-        + k * epsilon * (np.exp(epsilon) - 1.0)
-    )
-    return epsilon_total, float(delta_prime)
-
-
-class PrivacyAccountant:
-    """Tracks (epsilon, delta) spends and enforces an optional budget.
-
-    The accountant is deliberately simple — basic composition with an
-    advanced-composition *report* — because its role in this reproduction
-    is to make the paper's composition property observable, not to be a
-    state-of-the-art accountant.
-    """
-
-    def __init__(self, epsilon_budget: float | None = None, delta_budget: float = 0.0):
-        if epsilon_budget is not None and epsilon_budget <= 0:
-            raise ValueError("epsilon_budget must be positive when set")
-        if delta_budget < 0 or delta_budget >= 1:
-            raise ValueError("delta_budget must lie in [0, 1)")
-        self.epsilon_budget = epsilon_budget
-        self.delta_budget = delta_budget
-        self._spends: list[PrivacySpend] = []
-
-    @property
-    def spends(self) -> tuple[PrivacySpend, ...]:
-        """All charges so far, in order."""
-        return tuple(self._spends)
-
-    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> PrivacySpend:
-        """Record one charge; raises ``RuntimeError`` when over budget."""
-        charge = PrivacySpend(epsilon=epsilon, delta=delta, label=label)
-        total_epsilon, total_delta = basic_composition([*self._spends, charge])
-        if self.epsilon_budget is not None and total_epsilon > self.epsilon_budget + 1e-12:
-            raise RuntimeError(
-                f"privacy budget exceeded: spend of eps={epsilon} would total "
-                f"{total_epsilon:.4f} > budget {self.epsilon_budget}"
-            )
-        if total_delta > self.delta_budget + 1e-15:
-            raise RuntimeError(
-                f"delta budget exceeded: total {total_delta} > {self.delta_budget}"
-            )
-        self._spends.append(charge)
-        return charge
-
-    def total(self) -> tuple[float, float]:
-        """Current (epsilon, delta) under basic composition."""
-        return basic_composition(self._spends)
-
-    def remaining_epsilon(self) -> float | None:
-        """Unspent epsilon, or ``None`` for an unlimited accountant."""
-        if self.epsilon_budget is None:
-            return None
-        return self.epsilon_budget - self.total()[0]
-
-    def advanced_total(self, delta_prime: float = 1e-6) -> tuple[float, float]:
-        """The advanced-composition view of homogeneous spends.
-
-        Only valid when all recorded spends are pure and share one epsilon;
-        raises otherwise (heterogeneous advanced composition is out of
-        scope for this reproduction).
-        """
-        if not self._spends:
-            return 0.0, 0.0
-        epsilons = {s.epsilon for s in self._spends}
-        if len(epsilons) != 1 or any(s.delta > 0 for s in self._spends):
-            raise ValueError(
-                "advanced_total requires homogeneous pure-DP spends"
-            )
-        return advanced_composition(epsilons.pop(), len(self._spends), delta_prime)
-
-    def __repr__(self) -> str:
-        epsilon, delta = self.total()
-        return (
-            f"PrivacyAccountant(spent=({epsilon:.4f}, {delta:.2e}), "
-            f"budget={self.epsilon_budget})"
-        )
+__all__ = [
+    "BudgetExhausted",
+    "PrivacyAccountant",
+    "PrivacySpend",
+    "advanced_composition",
+    "basic_composition",
+]

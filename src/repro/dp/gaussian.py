@@ -11,21 +11,22 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.privacy.accounting import PrivacySpend
+from repro.privacy.kernels import GaussianKernel, MechanismSpec
 from repro.utils.rng import RngSeed, ensure_rng
 
 
 class GaussianMechanism:
-    """Additive Gaussian noise calibrated for (epsilon, delta)-DP."""
+    """Additive Gaussian noise calibrated for (epsilon, delta)-DP.
+
+    The ``sigma`` calibration and the sampling live on a
+    :class:`~repro.privacy.kernels.GaussianKernel` built once at
+    construction; this class contributes the statistic and the
+    (epsilon, delta) claim.
+    """
 
     def __init__(self, epsilon: float, delta: float, sensitivity: float = 1.0):
-        if not 0 < epsilon <= 1:
-            raise ValueError(
-                f"the classical Gaussian calibration requires 0 < epsilon <= 1, got {epsilon}"
-            )
-        if not 0 < delta < 1:
-            raise ValueError(f"delta must lie in (0, 1), got {delta}")
-        if sensitivity <= 0:
-            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.kernel = GaussianKernel.calibrate(epsilon, delta, sensitivity)
         self.epsilon = float(epsilon)
         self.delta = float(delta)
         self.sensitivity = float(sensitivity)
@@ -33,19 +34,29 @@ class GaussianMechanism:
     @property
     def sigma(self) -> float:
         """The calibrated noise standard deviation."""
-        return self.sensitivity * np.sqrt(2.0 * np.log(1.25 / self.delta)) / self.epsilon
+        return self.kernel.sigma
+
+    def spec(self) -> MechanismSpec:
+        """The mechanism's auditable identity: kernel + per-release spend."""
+        return MechanismSpec(
+            name=f"gaussian(eps={self.epsilon}, delta={self.delta})",
+            kernel=self.kernel,
+            spend=PrivacySpend(self.epsilon, self.delta),
+            sensitivity=self.sensitivity,
+            dp=True,
+        )
 
     def release(self, true_value: float, rng: RngSeed = None) -> float:
         """One noisy release of ``true_value``."""
         generator = ensure_rng(rng)
-        return float(true_value + generator.normal(0.0, self.sigma))
+        return float(true_value + self.kernel.sample(generator))
 
     def release_many(self, true_value: float, count: int, rng: RngSeed = None) -> np.ndarray:
         """``count`` independent releases (each spends the budget)."""
         if count <= 0:
             raise ValueError("count must be positive")
         generator = ensure_rng(rng)
-        return true_value + generator.normal(0.0, self.sigma, size=count)
+        return true_value + self.kernel.sample_n(generator, count)
 
     def __repr__(self) -> str:
         return (

@@ -13,41 +13,55 @@ from typing import Callable
 import numpy as np
 
 from repro.data.dataset import Dataset, Record
+from repro.privacy.accounting import PrivacySpend
+from repro.privacy.kernels import GeometricKernel, LaplaceKernel, MechanismSpec
 from repro.utils.rng import RngSeed, ensure_rng
 
 
 class LaplaceMechanism:
     """Additive Laplace noise calibrated to sensitivity/epsilon.
 
+    All sampling delegates to a :class:`~repro.privacy.kernels.LaplaceKernel`
+    calibrated once at construction — the mechanism owns the statistic and
+    the privacy claim, the kernel owns the noise.
+
     Attributes:
         epsilon: the privacy-loss parameter (> 0).
         sensitivity: the statistic's global sensitivity (> 0).
+        kernel: the calibrated noise kernel.
     """
 
     def __init__(self, epsilon: float, sensitivity: float = 1.0):
-        if epsilon <= 0:
-            raise ValueError(f"epsilon must be positive, got {epsilon}")
-        if sensitivity <= 0:
-            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        self.kernel = LaplaceKernel.calibrate(epsilon, sensitivity)
         self.epsilon = float(epsilon)
         self.sensitivity = float(sensitivity)
 
     @property
     def scale(self) -> float:
         """The Laplace scale parameter ``b = sensitivity / epsilon``."""
-        return self.sensitivity / self.epsilon
+        return self.kernel.scale
+
+    def spec(self) -> MechanismSpec:
+        """The mechanism's auditable identity: kernel + per-release spend."""
+        return MechanismSpec(
+            name=f"laplace(eps={self.epsilon})",
+            kernel=self.kernel,
+            spend=PrivacySpend(self.epsilon),
+            sensitivity=self.sensitivity,
+            dp=True,
+        )
 
     def release(self, true_value: float, rng: RngSeed = None) -> float:
         """One noisy release of ``true_value``."""
         generator = ensure_rng(rng)
-        return float(true_value + generator.laplace(0.0, self.scale))
+        return float(true_value + self.kernel.sample(generator))
 
     def release_many(self, true_value: float, count: int, rng: RngSeed = None) -> np.ndarray:
         """``count`` independent releases (each spends epsilon!)."""
         if count <= 0:
             raise ValueError("count must be positive")
         generator = ensure_rng(rng)
-        return true_value + generator.laplace(0.0, self.scale, size=count)
+        return true_value + self.kernel.sample_n(generator, count)
 
     def expected_absolute_error(self) -> float:
         """E|noise| = scale (the mechanism's accuracy cost)."""
@@ -83,15 +97,22 @@ class GeometricMechanism:
             raise ValueError(f"sensitivity must be positive, got {sensitivity}")
         self.epsilon = float(epsilon)
         self.sensitivity = int(sensitivity)
+        self.kernel = GeometricKernel.calibrate(self.epsilon, self.sensitivity)
+
+    def spec(self) -> MechanismSpec:
+        """The mechanism's auditable identity: kernel + per-release spend."""
+        return MechanismSpec(
+            name=f"geometric(eps={self.epsilon})",
+            kernel=self.kernel,
+            spend=PrivacySpend(self.epsilon),
+            sensitivity=float(self.sensitivity),
+            dp=True,
+        )
 
     def release(self, true_value: int, rng: RngSeed = None) -> int:
         """One noisy integer release of ``true_value``."""
         generator = ensure_rng(rng)
-        p = 1.0 - np.exp(-self.epsilon / self.sensitivity)
-        # Two-sided geometric = difference of two geometric variables.
-        positive = generator.geometric(p) - 1
-        negative = generator.geometric(p) - 1
-        return int(true_value + positive - negative)
+        return int(true_value + int(self.kernel.sample(generator)))
 
     def __repr__(self) -> str:
         return f"GeometricMechanism(epsilon={self.epsilon}, sensitivity={self.sensitivity})"

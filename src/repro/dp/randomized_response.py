@@ -12,21 +12,38 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.privacy.accounting import PrivacySpend
+from repro.privacy.kernels import MechanismSpec, RandomizedResponseKernel
 from repro.utils.rng import RngSeed, ensure_rng
 
 
 class RandomizedResponse:
-    """Binary randomized response with privacy parameter epsilon."""
+    """Binary randomized response with privacy parameter epsilon.
+
+    The flip coin lives on a
+    :class:`~repro.privacy.kernels.RandomizedResponseKernel`; this class
+    applies the flips to data and carries the debiasing estimator.
+    """
 
     def __init__(self, epsilon: float):
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
         self.epsilon = float(epsilon)
+        self.kernel = RandomizedResponseKernel.calibrate(self.epsilon)
 
     @property
     def truth_probability(self) -> float:
         """Probability of reporting the true bit: e^eps / (1 + e^eps)."""
-        return float(np.exp(self.epsilon) / (1.0 + np.exp(self.epsilon)))
+        return self.kernel.truth_probability
+
+    def spec(self) -> MechanismSpec:
+        """The mechanism's auditable identity: kernel + per-release spend."""
+        return MechanismSpec(
+            name=f"randomized-response(eps={self.epsilon})",
+            kernel=self.kernel,
+            spend=PrivacySpend(self.epsilon),
+            dp=True,
+        )
 
     def release(self, bits: np.ndarray, rng: RngSeed = None) -> np.ndarray:
         """Perturb a 0/1 vector record-by-record."""
@@ -34,8 +51,10 @@ class RandomizedResponse:
         if not np.isin(bits, (0, 1)).all():
             raise ValueError("randomized response operates on 0/1 data")
         generator = ensure_rng(rng)
-        keep = generator.random(bits.shape) < self.truth_probability
-        return np.where(keep, bits, 1 - bits).astype(np.int64)
+        # The kernel draws flip indicators from the identical uniforms the
+        # old keep-mask drew (flip = not keep), so releases are bit-identical.
+        flips = self.kernel.sample_n(generator, bits.shape).astype(bool)
+        return np.where(flips, 1 - bits, bits).astype(np.int64)
 
     def estimate_count(self, responses: np.ndarray) -> float:
         """Debias the sum of responses into an unbiased count estimate.

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+from repro.privacy.kernels import LaplaceKernel
 from repro.utils.rng import RngSeed, ensure_rng
 
 
@@ -58,6 +59,10 @@ class AboveThreshold:
         self.epsilon = float(epsilon)
         self.threshold = float(threshold)
         self.sensitivity = float(sensitivity)
+        # Dwork-Roth Algorithm 1 split: Lap(2 sens/eps) on the threshold,
+        # Lap(4 sens/eps) on each answer — both drawn by privacy kernels.
+        self._threshold_kernel = LaplaceKernel(2.0 * self.sensitivity / self.epsilon)
+        self._answer_kernel = LaplaceKernel(4.0 * self.sensitivity / self.epsilon)
 
     def run(
         self,
@@ -71,17 +76,13 @@ class AboveThreshold:
         queries); ``max_queries`` caps consumption for unbounded streams.
         """
         generator = ensure_rng(rng)
-        noisy_threshold = self.threshold + generator.laplace(
-            0.0, 2.0 * self.sensitivity / self.epsilon
-        )
+        noisy_threshold = self.threshold + self._threshold_kernel.sample(generator)
         processed = 0
         for index, answer in enumerate(answers):
             if max_queries is not None and index >= max_queries:
                 break
             processed += 1
-            noisy_answer = answer + generator.laplace(
-                0.0, 4.0 * self.sensitivity / self.epsilon
-            )
+            noisy_answer = answer + self._answer_kernel.sample(generator)
             if noisy_answer >= noisy_threshold:
                 return SparseVectorOutcome(index=index, queries_processed=processed)
         return SparseVectorOutcome(index=None, queries_processed=processed)

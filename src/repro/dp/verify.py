@@ -19,6 +19,7 @@ from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
+from repro.privacy.kernels import MechanismSpec
 from repro.utils.rng import RngSeed, ensure_rng, spawn_rngs
 from repro.utils.stats import clopper_pearson_interval
 
@@ -182,3 +183,46 @@ def _auto_threshold_events(
             )
         )
     return events
+
+
+def verify_spec(
+    spec: MechanismSpec,
+    x: object,
+    x_prime: object,
+    *,
+    statistic: Callable[[object], float] | None = None,
+    events: Sequence[tuple[str, Event]] | None = None,
+    trials: int = 4_000,
+    confidence: float = 0.999,
+    num_auto_events: int = 12,
+    rng: RngSeed = None,
+) -> DPVerdict:
+    """Empirically test the exact object the accountant charges.
+
+    Builds the additive-noise mechanism ``statistic(data) + spec.kernel``
+    noise (``statistic`` defaults to the subset-count ``sum``, the paper's
+    counting query) and runs :func:`verify_dp` against ``spec.spend.epsilon``
+    — so the epsilon under test is, by construction, the epsilon the service
+    accountant charges for this spec, and the noise is drawn by the same
+    kernel the answerers sample.  This closes the mechanism/accounting drift
+    loop: there is no second object whose privacy could silently diverge.
+    """
+    if not spec.dp:
+        raise ValueError(f"spec {spec.name!r} makes no DP claim to verify")
+    kernel = spec.kernel
+
+    def mechanism(data: object, generator: np.random.Generator) -> float:
+        true_value = float(statistic(data)) if statistic is not None else float(np.sum(data))
+        return float(true_value + kernel.sample(generator))
+
+    return verify_dp(
+        mechanism,
+        x,
+        x_prime,
+        epsilon=spec.spend.epsilon,
+        events=events,
+        trials=trials,
+        confidence=confidence,
+        num_auto_events=num_auto_events,
+        rng=rng,
+    )

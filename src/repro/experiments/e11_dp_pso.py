@@ -21,7 +21,7 @@ from repro.core.mechanisms import ComposedMechanism, DPCountMechanism
 from repro.core.pso import PSOGame
 from repro.data.distributions import uniform_bits_distribution
 from repro.dp.laplace import LaplaceMechanism
-from repro.dp.verify import verify_dp
+from repro.dp.verify import verify_dp, verify_spec
 from repro.experiments.runner import ExperimentResult, register
 from repro.utils.rng import derive_rng
 from repro.utils.tables import Table
@@ -39,12 +39,13 @@ def run(seed: int = 0, quick: bool = False, jobs: int = 1) -> ExperimentResult:
         title="E11a: empirical DP verification (Theorem 1.3)",
     )
     for epsilon in (0.5, 1.0, 2.0):
-        mechanism = LaplaceMechanism(epsilon)
-        verdict = verify_dp(
-            lambda data, rng, m=mechanism: m.release(float(np.sum(data)), rng),
+        # Verify the MechanismSpec itself: the kernel that samples and the
+        # epsilon the accountant would charge are one object under test.
+        spec = LaplaceMechanism(epsilon).spec()
+        verdict = verify_spec(
+            spec,
             x,
             x_prime,
-            epsilon=epsilon,
             trials=verify_trials,
             rng=derive_rng(seed, "e11-verify", epsilon),
         )

@@ -105,9 +105,12 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
             [report.unique_queries, f"{report.agreement:.3f}", report.flagged]
         )
 
+    # The per-query rate the server actually charges is read back off the
+    # served mechanism's spec — the same object the accountant charged.
+    served_epsilon = server.mechanism_spec("attacker").spend.epsilon
     sessions = Table(
         ["analyst", "served", "charged", "epsilon spent", "cache hit rate", "flagged"],
-        title=f"E18: sessions on one n={n} Laplace server (eps/query = {epsilon_per_query})",
+        title=f"E18: sessions on one n={n} Laplace server (eps/query = {served_epsilon})",
     )
     for name in ("attacker", "dashboard", "researcher"):
         session = server.session(name)

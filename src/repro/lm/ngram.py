@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.privacy.kernels import LaplaceKernel
 from repro.utils.rng import RngSeed, ensure_rng
 
 #: Padding character prepended to every document (never generated).
@@ -92,10 +93,10 @@ class NgramLanguageModel:
                 self._counts[context][self._char_index[char]] += count
         if clamped:
             self._dp_epsilon_per_count = float(dp_epsilon_per_count)
-            scale = 1.0 / dp_epsilon_per_count
+            kernel = LaplaceKernel.calibrate(float(dp_epsilon_per_count))
             for context in list(self._counts):
-                noisy = self._counts[context] + generator.laplace(
-                    0.0, scale, size=len(self.alphabet)
+                noisy = self._counts[context] + kernel.sample_n(
+                    generator, len(self.alphabet)
                 )
                 self._counts[context] = np.clip(noisy, 0.0, None)
         return self

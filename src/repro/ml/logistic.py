@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dp.composition import advanced_composition
+from repro.privacy.accounting import advanced_composition
+from repro.privacy.kernels import GaussianKernel
 from repro.utils.rng import RngSeed, ensure_rng
 
 
@@ -93,6 +94,11 @@ class LogisticRegressionModel:
         generator = ensure_rng(rng)
         weights = np.zeros(d)
         bias = 0.0
+        # DP-SGD noise sigma = noise_multiplier * clip_norm, sampled by the
+        # shared Gaussian kernel.
+        noise_kernel = (
+            GaussianKernel(dp.noise_multiplier * dp.clip_norm) if dp is not None else None
+        )
         for _ in range(self.epochs):
             logits = features @ weights + bias
             probabilities = _sigmoid(logits)
@@ -107,8 +113,7 @@ class LogisticRegressionModel:
                 scales = np.minimum(1.0, dp.clip_norm / np.maximum(norms, 1e-12))
                 clipped = per_example * scales[:, None]
                 summed = clipped.sum(axis=0)
-                sigma = dp.noise_multiplier * dp.clip_norm
-                noisy = summed + generator.normal(0.0, sigma, size=summed.shape)
+                noisy = summed + noise_kernel.sample_n(generator, summed.shape)
                 averaged = noisy / n
                 gradient_w = averaged[:d] + self.l2 * weights
                 gradient_b = float(averaged[d])

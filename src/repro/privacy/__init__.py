@@ -1,0 +1,67 @@
+"""The layered privacy core every other layer consumes.
+
+The paper's arc — mechanisms (Thm 1.3) through composition (Thm 2.8/2.9)
+to service-level auditing — is implemented here exactly once and consumed
+everywhere::
+
+    repro.privacy.kernels          NoiseKernel, MechanismSpec
+        |  sample()/sample_n() draws; calibrations live on the kernels
+        v
+    repro.privacy.accounting       PrivacySpend, PrivacyAccountant,
+        |                          ServiceAccountant (multi-analyst)
+        v
+    repro.queries.mechanism        QueryAnswerer subclasses delegate all
+        |                          noise to kernels, budgets to accountants
+        v
+    repro.service / repro.dp.verify
+        QueryServer charges the spec's spend; verify_spec() empirically
+        tests the very same MechanismSpec the accountant charged.
+
+Migration note (PR 4): ``PrivacySpend``/``PrivacyAccountant`` and the
+composition functions moved here from ``repro.dp.composition``;
+``BudgetExhausted`` and the service accountants moved here from
+``repro.service.accountant``.  Both old module paths remain as thin
+re-export shims, so existing imports keep working.
+"""
+
+from repro.privacy.accounting import (
+    AdvancedAccountant,
+    BasicAccountant,
+    BudgetExhausted,
+    PrivacyAccountant,
+    PrivacySpend,
+    ServiceAccountant,
+    advanced_composition,
+    basic_composition,
+)
+from repro.privacy.kernels import (
+    BoundedExtremesKernel,
+    BoundedUniformKernel,
+    GaussianKernel,
+    GeometricKernel,
+    LaplaceKernel,
+    MechanismSpec,
+    NoiseKernel,
+    RandomizedResponseKernel,
+    ZeroKernel,
+)
+
+__all__ = [
+    "AdvancedAccountant",
+    "BasicAccountant",
+    "BoundedExtremesKernel",
+    "BoundedUniformKernel",
+    "BudgetExhausted",
+    "GaussianKernel",
+    "GeometricKernel",
+    "LaplaceKernel",
+    "MechanismSpec",
+    "NoiseKernel",
+    "PrivacyAccountant",
+    "PrivacySpend",
+    "RandomizedResponseKernel",
+    "ServiceAccountant",
+    "ZeroKernel",
+    "advanced_composition",
+    "basic_composition",
+]

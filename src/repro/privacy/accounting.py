@@ -1,0 +1,544 @@
+"""One accountant hierarchy for every layer of the reproduction.
+
+Section 1.1 of the paper singles out closure under composition as the
+property separating differential privacy from k-anonymity; this module is
+where that property lives — once.  It provides:
+
+* :class:`PrivacySpend` — one (epsilon, delta) charge;
+* :func:`basic_composition` / :func:`advanced_composition` — the Theorem
+  2.8/2.9 bounds;
+* :class:`BudgetExhausted` — the refusal raised by *every* budget in the
+  repo (mechanism-level, analyst-level, service-level);
+* :class:`PrivacyAccountant` — a thread-safe single ledger with
+  all-or-nothing :meth:`~PrivacyAccountant.reserve` /
+  :meth:`~PrivacyAccountant.rollback` semantics and an optional query-count
+  budget;
+* :class:`ServiceAccountant` and its :class:`BasicAccountant` /
+  :class:`AdvancedAccountant` rules — the multi-analyst extension that
+  keeps one :class:`PrivacyAccountant` sub-ledger per analyst and adds a
+  global cap across analysts.
+
+Before this layer existed, ``repro.dp.composition`` and
+``repro.service.accountant`` each carried their own copy of the ledger
+machinery and ``repro.queries.mechanism.BudgetedAnswerer`` kept a private
+counter; Cohen–Nissim's *Linear Program Reconstruction in Practice* shows
+that exactly this kind of drift between accounting layers is where
+production privacy bugs live.  The old module paths remain as re-export
+shims.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "AdvancedAccountant",
+    "BasicAccountant",
+    "BudgetExhausted",
+    "PrivacyAccountant",
+    "PrivacySpend",
+    "ServiceAccountant",
+    "advanced_composition",
+    "basic_composition",
+]
+
+#: Slack for floating-point accumulation in budget comparisons.
+_EPSILON_TOLERANCE = 1e-12
+_DELTA_TOLERANCE = 1e-15
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """One (epsilon, delta) charge with an optional label for auditing."""
+
+    epsilon: float
+    delta: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not 0 <= self.delta < 1:
+            raise ValueError("delta must lie in [0, 1)")
+
+
+def basic_composition(spends: list[PrivacySpend]) -> tuple[float, float]:
+    """Sequential (basic) composition: epsilons and deltas add."""
+    if not spends:
+        return 0.0, 0.0
+    return (
+        float(sum(s.epsilon for s in spends)),
+        float(sum(s.delta for s in spends)),
+    )
+
+
+def advanced_composition(
+    epsilon: float, k: int, delta_prime: float
+) -> tuple[float, float]:
+    """Advanced composition of ``k`` epsilon-DP mechanisms.
+
+    Returns the (epsilon', k*0 + delta') guarantee with
+    ``epsilon' = sqrt(2 k ln(1/delta')) * epsilon + k * epsilon *
+    (e^epsilon - 1)`` — the sqrt(k) scaling that makes high-query-count
+    DP analyses feasible at all.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0 < delta_prime < 1:
+        raise ValueError("delta_prime must lie in (0, 1)")
+    epsilon_total = float(
+        np.sqrt(2.0 * k * np.log(1.0 / delta_prime)) * epsilon
+        + k * epsilon * (np.exp(epsilon) - 1.0)
+    )
+    return epsilon_total, float(delta_prime)
+
+
+class BudgetExhausted(RuntimeError):
+    """A charge was refused: answering would exceed a privacy budget.
+
+    Attributes:
+        analyst: the session whose charge was refused ("" for a
+            single-ledger accountant).
+        scope: which budget would have been exceeded — ``"analyst"``,
+            ``"global"``, or ``"queries"`` at the service layer,
+            ``"epsilon"``, ``"delta"``, or ``"queries"`` for a plain
+            :class:`PrivacyAccountant`.
+        requested: the epsilon (or query count, for ``"queries"``) asked for.
+        budget: the limit that would have been crossed.
+        spent: the ledger total before the refused charge.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        analyst: str = "",
+        scope: str = "",
+        requested: float = 0.0,
+        budget: float = 0.0,
+        spent: float = 0.0,
+    ):
+        super().__init__(message)
+        self.analyst = analyst
+        self.scope = scope
+        self.requested = requested
+        self.budget = budget
+        self.spent = spent
+
+
+class PrivacyAccountant:
+    """A thread-safe (epsilon, delta) ledger with all-or-nothing charges.
+
+    The ledger is stored as ``{epsilon: count}`` aggregates, so budget
+    checks stay O(#distinct epsilon) however many queries are charged; an
+    ordered :attr:`spends` trail is additionally recorded unless
+    ``record_entries=False`` (the high-volume configuration used for
+    per-analyst sub-ledgers and :class:`BudgetedAnswerer`).
+
+    Composition rule: :meth:`composed_epsilon` (basic composition here) is
+    the single hook subclasses override; a bound ``composition=`` callable
+    may be injected instead, which is how :class:`ServiceAccountant` makes
+    every per-analyst sub-ledger compose by the *service's* rule without
+    subclassing.
+
+    Charging surfaces:
+
+    * :meth:`spend` — the classic single-charge API (kept from the original
+      ``repro.dp.composition`` accountant);
+    * :meth:`reserve` / :meth:`rollback` — the all-or-nothing batch API the
+      query layers use: a refused reservation records nothing, and a
+      reservation whose work later fails can be rolled back.
+    """
+
+    def __init__(
+        self,
+        epsilon_budget: float | None = None,
+        delta_budget: float = 0.0,
+        max_queries: int | None = None,
+        *,
+        composition: "Callable[[dict[float, int]], float] | None" = None,
+        record_entries: bool = True,
+    ):
+        if epsilon_budget is not None and epsilon_budget <= 0:
+            raise ValueError("epsilon_budget must be positive when set")
+        if delta_budget < 0 or delta_budget >= 1:
+            raise ValueError("delta_budget must lie in [0, 1)")
+        if max_queries is not None and max_queries <= 0:
+            raise ValueError("max_queries must be positive when set")
+        self.epsilon_budget = epsilon_budget
+        self.delta_budget = delta_budget
+        self.max_queries = max_queries
+        self._composition = composition
+        self._record_entries = record_entries
+        self._entries: list[PrivacySpend] = []
+        self._counts: dict[float, int] = {}
+        self._delta_total = 0.0
+        self._queries = 0
+        self._lock = threading.RLock()
+
+    # -- composition rule ---------------------------------------------------
+
+    def composed_epsilon(self, spends: dict[float, int]) -> float:
+        """Total epsilon of an ``{epsilon: count}`` ledger under this rule.
+
+        Basic composition here; subclasses override, and the
+        ``composition=`` constructor hook takes precedence when given.
+        """
+        return float(sum(eps * count for eps, count in spends.items()))
+
+    def _composed(self, counts: dict[float, int]) -> float:
+        rule = self._composition or self.composed_epsilon
+        return rule(counts)
+
+    # -- read access --------------------------------------------------------
+
+    @property
+    def spends(self) -> tuple[PrivacySpend, ...]:
+        """All charges so far, in order (empty when entry recording is off)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    @property
+    def queries_charged(self) -> int:
+        """Number of unit charges recorded so far."""
+        with self._lock:
+            return self._queries
+
+    @property
+    def epsilon_composed(self) -> float:
+        """Composed epsilon of the ledger under this accountant's rule."""
+        with self._lock:
+            return float(self._composed(self._counts))
+
+    def total(self) -> tuple[float, float]:
+        """Current (epsilon, delta) under basic composition."""
+        with self._lock:
+            if self._record_entries:
+                return basic_composition(self._entries)
+            epsilon = float(sum(eps * count for eps, count in self._counts.items()))
+            return epsilon, float(self._delta_total)
+
+    def remaining_epsilon(self) -> float | None:
+        """Unspent epsilon, or ``None`` for an unlimited accountant."""
+        if self.epsilon_budget is None:
+            return None
+        return self.epsilon_budget - self.total()[0]
+
+    def advanced_total(self, delta_prime: float = 1e-6) -> tuple[float, float]:
+        """The advanced-composition view of homogeneous spends.
+
+        Only valid when all recorded spends are pure and share one epsilon;
+        raises otherwise (heterogeneous advanced composition is out of
+        scope for this reproduction).
+        """
+        with self._lock:
+            if not self._queries:
+                return 0.0, 0.0
+            if len(self._counts) != 1 or self._delta_total > 0:
+                raise ValueError(
+                    "advanced_total requires homogeneous pure-DP spends"
+                )
+            ((epsilon, k),) = tuple(self._counts.items())
+        return advanced_composition(epsilon, k, delta_prime)
+
+    # -- charging -----------------------------------------------------------
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> PrivacySpend:
+        """Record one charge; raises :class:`BudgetExhausted` when over budget."""
+        charge = PrivacySpend(epsilon=epsilon, delta=delta, label=label)
+        self.reserve(1, epsilon, delta, label=label)
+        return charge
+
+    def reserve(
+        self,
+        count: int,
+        epsilon: float,
+        delta: float = 0.0,
+        *,
+        label: str = "",
+        analyst: str = "",
+    ) -> None:
+        """Atomically charge ``count`` queries at (``epsilon``, ``delta``) each.
+
+        All-or-nothing: if any budget (query count, epsilon, delta) would be
+        exceeded, raises :class:`BudgetExhausted` and records nothing.  The
+        optional ``analyst`` only decorates refusal messages — the
+        multi-analyst bookkeeping lives in :class:`ServiceAccountant`.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not 0 <= delta < 1:
+            raise ValueError("delta must lie in [0, 1)")
+        if count == 0:
+            return
+        count = int(count)
+        prefix = f"analyst {analyst!r}: " if analyst else ""
+        with self._lock:
+            if (
+                self.max_queries is not None
+                and self._queries + count > self.max_queries
+            ):
+                raise BudgetExhausted(
+                    f"{prefix}{count} more queries would exceed the query "
+                    f"budget of {self.max_queries} "
+                    f"({self._queries} already answered)",
+                    analyst=analyst,
+                    scope="queries",
+                    requested=count,
+                    budget=self.max_queries,
+                    spent=self._queries,
+                )
+            if self.epsilon_budget is not None:
+                candidate = dict(self._counts)
+                candidate[epsilon] = candidate.get(epsilon, 0) + count
+                before = self._composed(self._counts)
+                after = self._composed(candidate)
+                if after > self.epsilon_budget + _EPSILON_TOLERANCE:
+                    if analyst:
+                        message = (
+                            f"analyst {analyst!r}: charging {count} x eps="
+                            f"{epsilon} would total {after:.4f} > "
+                            f"budget {self.epsilon_budget}"
+                        )
+                        scope = "analyst"
+                    else:
+                        what = (
+                            f"spend of eps={epsilon}"
+                            if count == 1
+                            else f"charging {count} x eps={epsilon}"
+                        )
+                        message = (
+                            f"privacy budget exceeded: {what} would total "
+                            f"{after:.4f} > budget {self.epsilon_budget}"
+                        )
+                        scope = "epsilon"
+                    raise BudgetExhausted(
+                        message,
+                        analyst=analyst,
+                        scope=scope,
+                        requested=after - before,
+                        budget=self.epsilon_budget,
+                        spent=before,
+                    )
+            total_delta = self._delta_total + delta * count
+            if total_delta > self.delta_budget + _DELTA_TOLERANCE:
+                raise BudgetExhausted(
+                    f"{prefix}delta budget exceeded: total {total_delta} > "
+                    f"{self.delta_budget}",
+                    analyst=analyst,
+                    scope="delta",
+                    requested=delta * count,
+                    budget=self.delta_budget,
+                    spent=self._delta_total,
+                )
+            self._counts[epsilon] = self._counts.get(epsilon, 0) + count
+            self._delta_total = total_delta
+            self._queries += count
+            if self._record_entries:
+                entry = PrivacySpend(epsilon=epsilon, delta=delta, label=label)
+                self._entries.extend([entry] * count)
+
+    def rollback(self, count: int, epsilon: float, delta: float = 0.0) -> None:
+        """Return a reservation to the budget (the work was never done).
+
+        The inverse of :meth:`reserve` for the same ``(count, epsilon,
+        delta)``; only the most recent reservations may be rolled back, so
+        callers pair each rollback with their own failed reserve.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        count = int(count)
+        with self._lock:
+            recorded = self._counts.get(epsilon, 0)
+            if recorded < count or self._queries < count:
+                raise ValueError(
+                    f"cannot roll back {count} x eps={epsilon}: only "
+                    f"{recorded} such charges recorded"
+                )
+            if recorded == count:
+                del self._counts[epsilon]
+            else:
+                self._counts[epsilon] = recorded - count
+            self._delta_total = max(0.0, self._delta_total - delta * count)
+            self._queries -= count
+            if self._record_entries:
+                del self._entries[-count:]
+
+    def __repr__(self) -> str:
+        epsilon, delta = self.total()
+        return (
+            f"{type(self).__name__}(spent=({epsilon:.4f}, {delta:.2e}), "
+            f"budget={self.epsilon_budget})"
+        )
+
+
+class ServiceAccountant(PrivacyAccountant, ABC):
+    """Per-analyst and global epsilon ledgers with all-or-nothing charges.
+
+    The multi-analyst extension of :class:`PrivacyAccountant`: each analyst
+    gets an entry-free sub-ledger whose ``composition=`` hook is bound to
+    *this* accountant's :meth:`composed_epsilon`, so per-analyst budgets
+    compose by the subclass rule with no duplicated math.  The global
+    ledger composes *basically* across analysts — the private data answers
+    all of them, so their losses add — and every charge is also mirrored
+    into the inherited single ledger, which therefore reports the basic
+    (epsilon, delta) total across the whole service via :meth:`total`.
+
+    Subclasses supply the composition rule through :meth:`composed_epsilon`.
+    """
+
+    def __init__(
+        self,
+        per_analyst_epsilon: float | None = None,
+        global_epsilon: float | None = None,
+        max_queries_per_analyst: int | None = None,
+    ):
+        if per_analyst_epsilon is not None and per_analyst_epsilon <= 0:
+            raise ValueError("per_analyst_epsilon must be positive when set")
+        if global_epsilon is not None and global_epsilon <= 0:
+            raise ValueError("global_epsilon must be positive when set")
+        if max_queries_per_analyst is not None and max_queries_per_analyst <= 0:
+            raise ValueError("max_queries_per_analyst must be positive when set")
+        super().__init__(record_entries=False)
+        self.per_analyst_epsilon = per_analyst_epsilon
+        self.global_epsilon = global_epsilon
+        self.max_queries_per_analyst = max_queries_per_analyst
+        self._ledgers: dict[str, PrivacyAccountant] = {}
+
+    @abstractmethod
+    def composed_epsilon(self, spends: dict[float, int]) -> float:
+        """Total epsilon of ``{epsilon: count}`` under this rule."""
+
+    def _ledger_for(self, analyst: str) -> PrivacyAccountant:
+        ledger = self._ledgers.get(analyst)
+        if ledger is None:
+            ledger = PrivacyAccountant(
+                epsilon_budget=self.per_analyst_epsilon,
+                max_queries=self.max_queries_per_analyst,
+                composition=self.composed_epsilon,
+                record_entries=False,
+            )
+            self._ledgers[analyst] = ledger
+        return ledger
+
+    def analyst_queries(self, analyst: str) -> int:
+        """Queries charged to ``analyst`` so far."""
+        with self._lock:
+            ledger = self._ledgers.get(analyst)
+            return ledger.queries_charged if ledger is not None else 0
+
+    def analyst_epsilon(self, analyst: str) -> float:
+        """``analyst``'s composed epsilon so far."""
+        with self._lock:
+            ledger = self._ledgers.get(analyst)
+            return ledger.epsilon_composed if ledger is not None else 0.0
+
+    def global_spent(self) -> float:
+        """Composed epsilon across all analysts (basic across sessions)."""
+        with self._lock:
+            return sum(ledger.epsilon_composed for ledger in self._ledgers.values())
+
+    def remaining_epsilon(self, analyst: str) -> float | None:
+        """Unspent per-analyst epsilon, or ``None`` for an unlimited ledger."""
+        if self.per_analyst_epsilon is None:
+            return None
+        return self.per_analyst_epsilon - self.analyst_epsilon(analyst)
+
+    def charge(self, analyst: str, count: int, epsilon_per_query: float) -> None:
+        """Atomically charge ``count`` queries at ``epsilon_per_query`` each.
+
+        All-or-nothing: if any budget (query count, per-analyst epsilon,
+        global epsilon) would be exceeded, raises :class:`BudgetExhausted`
+        and records nothing.  ``epsilon_per_query`` may be 0 for non-DP
+        mechanisms, in which case only the query-count budget can refuse.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if epsilon_per_query < 0:
+            raise ValueError("epsilon_per_query must be non-negative")
+        if count == 0:
+            return
+        with self._lock:
+            ledger = self._ledger_for(analyst)
+            before = ledger.epsilon_composed
+            ledger.reserve(count, epsilon_per_query, analyst=analyst)
+            after = ledger.epsilon_composed
+            if self.global_epsilon is not None:
+                grand = sum(
+                    led.epsilon_composed for led in self._ledgers.values()
+                )
+                if grand > self.global_epsilon + _EPSILON_TOLERANCE:
+                    ledger.rollback(count, epsilon_per_query)
+                    raise BudgetExhausted(
+                        f"global budget: charging analyst {analyst!r} {count} x "
+                        f"eps={epsilon_per_query} would total "
+                        f"{grand:.4f} > budget {self.global_epsilon}",
+                        analyst=analyst,
+                        scope="global",
+                        requested=after - before,
+                        budget=self.global_epsilon,
+                        spent=grand - (after - before),
+                    )
+            # Mirror into the inherited single ledger (no budgets attached)
+            # so the service reports a basic global (epsilon, delta) total.
+            super().reserve(count, epsilon_per_query)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(global_spent={self.global_spent():.4f}, "
+            f"per_analyst_budget={self.per_analyst_epsilon}, "
+            f"global_budget={self.global_epsilon})"
+        )
+
+
+class BasicAccountant(ServiceAccountant):
+    """Basic composition: epsilons add, the worst-case-safe ledger."""
+
+    composed_epsilon = PrivacyAccountant.composed_epsilon
+
+
+class AdvancedAccountant(ServiceAccountant):
+    """Advanced composition: each homogeneous epsilon group pays the
+    ``sqrt(2 k ln(1/delta')) * eps + k eps (e^eps - 1)`` bound of
+    :func:`advanced_composition`, and groups with distinct epsilons add
+    (basic across groups).  Each group carries the configured
+    ``delta_prime``; the resulting delta is reported, not budgeted — the
+    reproduction's budgets are epsilon-denominated.
+    """
+
+    def __init__(
+        self,
+        per_analyst_epsilon: float | None = None,
+        global_epsilon: float | None = None,
+        max_queries_per_analyst: int | None = None,
+        delta_prime: float = 1e-6,
+    ):
+        super().__init__(per_analyst_epsilon, global_epsilon, max_queries_per_analyst)
+        if not 0 < delta_prime < 1:
+            raise ValueError("delta_prime must lie in (0, 1)")
+        self.delta_prime = float(delta_prime)
+
+    def composed_epsilon(self, spends: dict[float, int]) -> float:
+        total = 0.0
+        for eps, count in spends.items():
+            if eps == 0.0 or count == 0:
+                continue
+            # Advanced composition only helps for k > 1; a single spend is
+            # exactly eps, and the bound would be looser.
+            if count == 1:
+                total += eps
+            else:
+                advanced, _delta = advanced_composition(eps, count, self.delta_prime)
+                total += min(advanced, eps * count)
+        return float(total)

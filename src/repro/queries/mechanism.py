@@ -22,10 +22,17 @@ Recovery":
 Answerers serve queries two ways: one at a time through :meth:`answer`, or
 a whole :class:`~repro.queries.workload.Workload` at once through
 :meth:`answer_workload`, which computes every true answer with one sparse
-matrix-vector product and draws all noise in one vectorized RNG call.  Because
-each noise sample consumes exactly one underlying uniform draw in either
-path, the batched answers are bit-identical to the per-query loop for any
-seed and any batch split — determinism is never the price of speed.
+matrix-vector product and draws all noise in one vectorized RNG call.
+
+All noise comes from :mod:`repro.privacy.kernels`: each answerer builds its
+:class:`~repro.privacy.kernels.NoiseKernel` once (the kernel owns the
+sigma/scale calibration — it is not re-derived here) and publishes it in a
+:class:`~repro.privacy.kernels.MechanismSpec` via :attr:`QueryAnswerer.spec`,
+so the service accountant charges and the DP verifier tests the identical
+object that answers queries.  Because each kernel sample consumes exactly
+one underlying uniform draw in either path, the batched answers are
+bit-identical to the per-query loop for any seed and any batch split —
+determinism is never the price of speed.
 
 All answerers count how many queries they served; the attacks report that
 number, since "too many questions" is half of the Fundamental Law.
@@ -39,6 +46,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.privacy.accounting import BudgetExhausted, PrivacyAccountant, PrivacySpend
+from repro.privacy.kernels import (
+    BoundedExtremesKernel,
+    BoundedUniformKernel,
+    GaussianKernel,
+    LaplaceKernel,
+    MechanismSpec,
+    ZeroKernel,
+)
 from repro.queries.query import SubsetQuery, _validate_binary
 from repro.queries.workload import Workload
 from repro.utils.rng import RngSeed, ensure_rng
@@ -98,12 +114,38 @@ class QueryAnswerer(ABC):
         return answers
 
     def answer_all(self, queries: Workload | Sequence[SubsetQuery]) -> np.ndarray:
-        """Answer a workload; returns an ``(m,)`` array of answers.
+        """Thin alias of :meth:`answer_workload` — prefer that name.
 
-        Alias of :meth:`answer_workload` (kept for the original list-based
-        call sites); the batched fast path applies either way.
+        Kept only for backward compatibility with the original list-based
+        call sites (all internal callers now use :meth:`answer_workload`);
+        behavior is identical, including the batched fast path and the
+        bit-for-bit RNG stream.
         """
         return self.answer_workload(queries)
+
+    @property
+    def spec(self) -> MechanismSpec:
+        """The mechanism's auditable identity: kernel + per-query spend.
+
+        The service accountant charges ``spec.spend`` per answered query and
+        :func:`repro.dp.verify.verify_spec` empirically tests ``spec.kernel``
+        — the same object in all three places.  Subclasses describe
+        themselves in :meth:`_build_spec`; the result is cached.
+        """
+        spec = getattr(self, "_spec", None)
+        if spec is None:
+            spec = self._build_spec()
+            self._spec = spec
+        return spec
+
+    def _build_spec(self) -> MechanismSpec:
+        """Default spec for subclasses that predate the kernel layer."""
+        return MechanismSpec(
+            name=type(self).__name__,
+            kernel=ZeroKernel(),
+            spend=PrivacySpend(float(getattr(self, "epsilon_per_query", 0.0))),
+            error_bound=self.error_bound,
+        )
 
     @abstractmethod
     def _noisy(self, query: SubsetQuery) -> float:
@@ -129,6 +171,9 @@ class ExactAnswerer(QueryAnswerer):
     @property
     def error_bound(self) -> float:
         return 0.0
+
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(name="exact", kernel=ZeroKernel(), error_bound=0.0)
 
     def _noisy(self, query: SubsetQuery) -> float:
         return float(self._true(query))
@@ -156,32 +201,27 @@ class BoundedNoiseAnswerer(QueryAnswerer):
             raise ValueError(f"unknown noise shape: {shape!r}")
         self.alpha = float(alpha)
         self.shape = shape
+        kernel_class = BoundedUniformKernel if shape == "uniform" else BoundedExtremesKernel
+        self._kernel = kernel_class(self.alpha)
         self._rng = ensure_rng(rng)
 
     @property
     def error_bound(self) -> float:
         return self.alpha
 
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name=f"bounded-{self.shape}",
+            kernel=self._kernel,
+            error_bound=self.alpha,
+        )
+
     def _noisy(self, query: SubsetQuery) -> float:
-        true = self._true(query)
-        if self.alpha == 0:
-            return float(true)
-        if self.shape == "uniform":
-            noise = self._rng.uniform(-self.alpha, self.alpha)
-        else:
-            noise = self.alpha * (1 if self._rng.random() < 0.5 else -1)
-        return float(true + noise)
+        return float(self._true(query) + self._kernel.sample(self._rng))
 
     def _noisy_workload(self, workload: Workload) -> np.ndarray:
         true = workload.true_answers(self._data, validate=False).astype(np.float64)
-        if self.alpha == 0:
-            return true
-        if self.shape == "uniform":
-            noise = self._rng.uniform(-self.alpha, self.alpha, size=len(workload))
-        else:
-            flips = self._rng.random(len(workload)) < 0.5
-            noise = np.where(flips, self.alpha, -self.alpha)
-        return true + noise
+        return true + self._kernel.sample_n(self._rng, len(workload))
 
 
 class RoundingAnswerer(QueryAnswerer):
@@ -196,6 +236,13 @@ class RoundingAnswerer(QueryAnswerer):
     @property
     def error_bound(self) -> float:
         return self.step / 2.0
+
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name=f"rounding(step={self.step})",
+            kernel=ZeroKernel(),
+            error_bound=self.step / 2.0,
+        )
 
     def _noisy(self, query: SubsetQuery) -> float:
         true = self._true(query)
@@ -236,6 +283,13 @@ class SubsamplingAnswerer(QueryAnswerer):
         # ~2 standard deviations of the subsampling error on a size-n/2 query.
         return 2.0 * np.sqrt(self.n * (1 - self.rate) / max(self.rate, 1e-12)) / 2.0
 
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name=f"subsample(rate={self.rate})",
+            kernel=ZeroKernel(),
+            error_bound=self.error_bound,
+        )
+
     def _noisy(self, query: SubsetQuery) -> float:
         selected = query.mask & self._subsample_mask
         count = float(self._data[selected].sum())
@@ -259,6 +313,7 @@ class LaplaceAnswerer(QueryAnswerer):
         if epsilon_per_query <= 0:
             raise ValueError("epsilon_per_query must be positive")
         self.epsilon_per_query = float(epsilon_per_query)
+        self._kernel = LaplaceKernel.calibrate(self.epsilon_per_query, sensitivity=1.0)
         self._rng = ensure_rng(rng)
 
     @property
@@ -270,14 +325,20 @@ class LaplaceAnswerer(QueryAnswerer):
         """Total privacy loss under basic composition."""
         return self.queries_answered * self.epsilon_per_query
 
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name=f"laplace(eps={self.epsilon_per_query})",
+            kernel=self._kernel,
+            spend=PrivacySpend(self.epsilon_per_query),
+            dp=True,
+        )
+
     def _noisy(self, query: SubsetQuery) -> float:
-        true = self._true(query)
-        return float(true + self._rng.laplace(0.0, 1.0 / self.epsilon_per_query))
+        return float(self._true(query) + self._kernel.sample(self._rng))
 
     def _noisy_workload(self, workload: Workload) -> np.ndarray:
         true = workload.true_answers(self._data, validate=False).astype(np.float64)
-        scale = 1.0 / self.epsilon_per_query
-        return true + self._rng.laplace(0.0, scale, size=len(workload))
+        return true + self._kernel.sample_n(self._rng, len(workload))
 
 
 class GaussianAnswerer(QueryAnswerer):
@@ -299,18 +360,14 @@ class GaussianAnswerer(QueryAnswerer):
         rng: RngSeed = None,
     ):
         super().__init__(data)
-        if not 0 < epsilon_per_query <= 1:
-            raise ValueError(
-                "the classical Gaussian calibration requires 0 < epsilon <= 1, "
-                f"got {epsilon_per_query}"
-            )
-        if not 0 < delta_per_query < 1:
-            raise ValueError(f"delta must lie in (0, 1), got {delta_per_query}")
+        # The kernel owns the classical sigma calibration (and its
+        # 0 < epsilon <= 1 validity check) — nothing is re-derived here.
+        self._kernel = GaussianKernel.calibrate(
+            epsilon_per_query, delta_per_query, sensitivity=1.0
+        )
         self.epsilon_per_query = float(epsilon_per_query)
         self.delta_per_query = float(delta_per_query)
-        self.sigma = float(
-            np.sqrt(2.0 * np.log(1.25 / self.delta_per_query)) / self.epsilon_per_query
-        )
+        self.sigma = self._kernel.sigma
         self._rng = ensure_rng(rng)
 
     @property
@@ -322,17 +379,31 @@ class GaussianAnswerer(QueryAnswerer):
         """Total epsilon under basic composition (delta composes likewise)."""
         return self.queries_answered * self.epsilon_per_query
 
+    def _build_spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name=f"gaussian(eps={self.epsilon_per_query}, delta={self.delta_per_query})",
+            kernel=self._kernel,
+            spend=PrivacySpend(self.epsilon_per_query, self.delta_per_query),
+            dp=True,
+        )
+
     def _noisy(self, query: SubsetQuery) -> float:
-        true = self._true(query)
-        return float(true + self._rng.normal(0.0, self.sigma))
+        return float(self._true(query) + self._kernel.sample(self._rng))
 
     def _noisy_workload(self, workload: Workload) -> np.ndarray:
         true = workload.true_answers(self._data, validate=False).astype(np.float64)
-        return true + self._rng.normal(0.0, self.sigma, size=len(workload))
+        return true + self._kernel.sample_n(self._rng, len(workload))
 
 
-class QueryBudgetExceeded(RuntimeError):
-    """Raised when a budgeted answerer refuses further queries."""
+class QueryBudgetExceeded(BudgetExhausted):
+    """Raised when a budgeted answerer refuses further queries.
+
+    A :class:`~repro.privacy.accounting.BudgetExhausted` (and therefore a
+    ``RuntimeError``, as before the accounting layers were unified): the
+    mechanism-level query budget is the same kind of refusal the service
+    accountant issues, carrying the same ``scope``/``requested``/``budget``/
+    ``spent`` attributes.
+    """
 
 
 class BudgetedAnswerer(QueryAnswerer):
@@ -345,9 +416,12 @@ class BudgetedAnswerer(QueryAnswerer):
     workload is all-or-nothing: if it does not fit in the remaining budget
     it is refused outright, with no queries consumed.
 
-    The charge is atomic: budget is *reserved* under a lock before the inner
-    answerer runs (and released if it fails), so concurrent ``answer`` /
-    ``answer_workload`` callers can never jointly overshoot ``max_queries``.
+    The budget is a real :class:`~repro.privacy.accounting.PrivacyAccountant`
+    ledger — the same all-or-nothing reserve/rollback the service accountant
+    uses, charging the inner answerer's ``spec.spend`` per query — so
+    concurrent ``answer`` / ``answer_workload`` callers can never jointly
+    overshoot ``max_queries``, and :attr:`epsilon_spent` falls out of the
+    ledger instead of a private counter.
     """
 
     def __init__(self, inner: QueryAnswerer, max_queries: int):
@@ -355,37 +429,59 @@ class BudgetedAnswerer(QueryAnswerer):
             raise ValueError("max_queries must be positive")
         # Share the inner answerer's data reference without re-validating.
         self._data = inner._data
-        self.queries_answered = 0
-        self._answer_lock = threading.Lock()
         self.inner = inner
         self.max_queries = int(max_queries)
+        self._epsilon_per_query = inner.spec.epsilon_per_query
+        self._ledger = PrivacyAccountant(
+            max_queries=self.max_queries, record_entries=False
+        )
+
+    @property
+    def spec(self) -> MechanismSpec:
+        """The wrapped mechanism's spec (budgeting adds no noise)."""
+        return self.inner.spec
 
     @property
     def error_bound(self) -> float:
         return self.inner.error_bound
 
     @property
+    def queries_answered(self) -> int:
+        """Queries charged against the budget so far."""
+        return self._ledger.queries_charged
+
+    @property
+    def epsilon_spent(self) -> float:
+        """Composed epsilon charged through the ledger (basic composition)."""
+        return self._ledger.total()[0]
+
+    @property
     def remaining(self) -> int:
         """Queries left in the budget."""
-        return self.max_queries - self.queries_answered
+        return self.max_queries - self._ledger.queries_charged
 
     def _reserve(self, count: int) -> None:
         """Atomically claim ``count`` queries or refuse without consuming any."""
-        with self._answer_lock:
-            if self.queries_answered + count > self.max_queries:
-                if count == 1:
-                    raise QueryBudgetExceeded(
-                        f"query budget of {self.max_queries} exhausted"
-                    )
-                raise QueryBudgetExceeded(
+        try:
+            self._ledger.reserve(count, self._epsilon_per_query)
+        except BudgetExhausted as refusal:
+            if count == 1:
+                message = f"query budget of {self.max_queries} exhausted"
+            else:
+                message = (
                     f"workload of {count} queries exceeds the remaining "
                     f"budget of {self.remaining} (max {self.max_queries})"
                 )
-            self.queries_answered += count
+            raise QueryBudgetExceeded(
+                message,
+                scope=refusal.scope,
+                requested=refusal.requested,
+                budget=refusal.budget,
+                spent=refusal.spent,
+            ) from None
 
     def _release(self, count: int) -> None:
-        with self._answer_lock:
-            self.queries_answered -= count
+        self._ledger.rollback(count, self._epsilon_per_query)
 
     def answer(self, query: SubsetQuery) -> float:
         self._reserve(1)

@@ -1,235 +1,24 @@
-"""Privacy accounting for the query service.
+"""Privacy accounting for the query service (re-export shim).
 
-The service-side accountant enforces the paper's "fundamental law" budget
-in deployment terms: every analyst session carries an epsilon ledger, the
-server as a whole carries another, and a query (or whole workload) that
-would push either past its budget is refused *before any answer is
-computed*.  Charges are all-or-nothing — a refused workload consumes
-nothing — matching the semantics of
-:class:`~repro.queries.mechanism.BudgetedAnswerer` at the mechanism layer.
-
-Two composition rules are provided, built on
-:mod:`repro.dp.composition`:
-
-* :class:`BasicAccountant` — epsilons add (basic composition), the
-  conservative ledger;
-* :class:`AdvancedAccountant` — homogeneous per-epsilon groups compose via
-  the sqrt(k) advanced-composition bound, the ledger that makes
-  high-query-count sessions feasible at all.
-
-Both also support a plain query-count budget (``max_queries_per_analyst``),
-which is the only meaningful limit for non-DP mechanisms (exact, rounding,
-subsampling) whose per-query epsilon is not finite.
+The service accountants moved to :mod:`repro.privacy.accounting` in PR 4:
+:class:`~repro.privacy.accounting.ServiceAccountant` is now a multi-analyst
+extension of the same :class:`~repro.privacy.accounting.PrivacyAccountant`
+that ``repro.dp`` exposes — shared :class:`PrivacySpend`, shared
+basic/advanced composition math, shared all-or-nothing reserve/rollback.
+This module remains so that ``from repro.service.accountant import
+BudgetExhausted`` (and the accountant classes) keeps working.
 """
 
-from __future__ import annotations
+from repro.privacy.accounting import (
+    AdvancedAccountant,
+    BasicAccountant,
+    BudgetExhausted,
+    ServiceAccountant,
+)
 
-import threading
-from abc import ABC, abstractmethod
-from collections import defaultdict
-
-from repro.dp.composition import advanced_composition
-
-
-class BudgetExhausted(RuntimeError):
-    """A charge was refused: answering would exceed a privacy budget.
-
-    Attributes:
-        analyst: the session whose charge was refused.
-        scope: ``"analyst"``, ``"global"``, or ``"queries"`` — which budget
-            would have been exceeded.
-        requested: the epsilon (or query count, for ``"queries"``) asked for.
-        budget: the limit that would have been crossed.
-        spent: the ledger total before the refused charge.
-    """
-
-    def __init__(
-        self,
-        message: str,
-        *,
-        analyst: str,
-        scope: str,
-        requested: float,
-        budget: float,
-        spent: float,
-    ):
-        super().__init__(message)
-        self.analyst = analyst
-        self.scope = scope
-        self.requested = requested
-        self.budget = budget
-        self.spent = spent
-
-
-class ServiceAccountant(ABC):
-    """Per-analyst and global epsilon ledgers with all-or-nothing charges.
-
-    Subclasses supply the composition rule through :meth:`composed_epsilon`;
-    the ledger machinery (charging, refusal, thread-safety) lives here.  The
-    global ledger composes *basically* across analysts — the private data
-    answers all of them, so their losses add — while each analyst's own
-    ledger composes by the subclass rule.
-    """
-
-    def __init__(
-        self,
-        per_analyst_epsilon: float | None = None,
-        global_epsilon: float | None = None,
-        max_queries_per_analyst: int | None = None,
-    ):
-        if per_analyst_epsilon is not None and per_analyst_epsilon <= 0:
-            raise ValueError("per_analyst_epsilon must be positive when set")
-        if global_epsilon is not None and global_epsilon <= 0:
-            raise ValueError("global_epsilon must be positive when set")
-        if max_queries_per_analyst is not None and max_queries_per_analyst <= 0:
-            raise ValueError("max_queries_per_analyst must be positive when set")
-        self.per_analyst_epsilon = per_analyst_epsilon
-        self.global_epsilon = global_epsilon
-        self.max_queries_per_analyst = max_queries_per_analyst
-        # analyst -> {epsilon_per_query: count}; counts-by-epsilon is all any
-        # supported composition rule needs, and it stays O(#distinct eps).
-        self._spends: dict[str, dict[float, int]] = defaultdict(dict)
-        self._lock = threading.Lock()
-
-    @abstractmethod
-    def composed_epsilon(self, spends: dict[float, int]) -> float:
-        """Total epsilon of ``{epsilon: count}`` under this rule."""
-
-    def analyst_queries(self, analyst: str) -> int:
-        """Queries charged to ``analyst`` so far."""
-        with self._lock:
-            return sum(self._spends[analyst].values())
-
-    def analyst_epsilon(self, analyst: str) -> float:
-        """``analyst``'s composed epsilon so far."""
-        with self._lock:
-            return self.composed_epsilon(self._spends[analyst])
-
-    def global_spent(self) -> float:
-        """Composed epsilon across all analysts (basic across sessions)."""
-        with self._lock:
-            return sum(self.composed_epsilon(s) for s in self._spends.values())
-
-    def remaining_epsilon(self, analyst: str) -> float | None:
-        """Unspent per-analyst epsilon, or ``None`` for an unlimited ledger."""
-        if self.per_analyst_epsilon is None:
-            return None
-        return self.per_analyst_epsilon - self.analyst_epsilon(analyst)
-
-    def charge(self, analyst: str, count: int, epsilon_per_query: float) -> None:
-        """Atomically charge ``count`` queries at ``epsilon_per_query`` each.
-
-        All-or-nothing: if any budget (query count, per-analyst epsilon,
-        global epsilon) would be exceeded, raises :class:`BudgetExhausted`
-        and records nothing.  ``epsilon_per_query`` may be 0 for non-DP
-        mechanisms, in which case only the query-count budget can refuse.
-        """
-        if count < 0:
-            raise ValueError("count must be non-negative")
-        if epsilon_per_query < 0:
-            raise ValueError("epsilon_per_query must be non-negative")
-        if count == 0:
-            return
-        with self._lock:
-            spends = self._spends[analyst]
-            queries = sum(spends.values())
-            if (
-                self.max_queries_per_analyst is not None
-                and queries + count > self.max_queries_per_analyst
-            ):
-                raise BudgetExhausted(
-                    f"analyst {analyst!r}: {count} more queries would exceed the "
-                    f"query budget of {self.max_queries_per_analyst} "
-                    f"({queries} already answered)",
-                    analyst=analyst,
-                    scope="queries",
-                    requested=count,
-                    budget=self.max_queries_per_analyst,
-                    spent=queries,
-                )
-            candidate = dict(spends)
-            candidate[epsilon_per_query] = candidate.get(epsilon_per_query, 0) + count
-            before = self.composed_epsilon(spends)
-            after = self.composed_epsilon(candidate)
-            if (
-                self.per_analyst_epsilon is not None
-                and after > self.per_analyst_epsilon + 1e-12
-            ):
-                raise BudgetExhausted(
-                    f"analyst {analyst!r}: charging {count} x eps="
-                    f"{epsilon_per_query} would total {after:.4f} > "
-                    f"budget {self.per_analyst_epsilon}",
-                    analyst=analyst,
-                    scope="analyst",
-                    requested=after - before,
-                    budget=self.per_analyst_epsilon,
-                    spent=before,
-                )
-            if self.global_epsilon is not None:
-                others = sum(
-                    self.composed_epsilon(s)
-                    for name, s in self._spends.items()
-                    if name != analyst
-                )
-                if others + after > self.global_epsilon + 1e-12:
-                    raise BudgetExhausted(
-                        f"global budget: charging analyst {analyst!r} {count} x "
-                        f"eps={epsilon_per_query} would total "
-                        f"{others + after:.4f} > budget {self.global_epsilon}",
-                        analyst=analyst,
-                        scope="global",
-                        requested=after - before,
-                        budget=self.global_epsilon,
-                        spent=others + before,
-                    )
-            self._spends[analyst] = candidate
-
-    def __repr__(self) -> str:
-        return (
-            f"{type(self).__name__}(global_spent={self.global_spent():.4f}, "
-            f"per_analyst_budget={self.per_analyst_epsilon}, "
-            f"global_budget={self.global_epsilon})"
-        )
-
-
-class BasicAccountant(ServiceAccountant):
-    """Basic composition: epsilons add, the worst-case-safe ledger."""
-
-    def composed_epsilon(self, spends: dict[float, int]) -> float:
-        return float(sum(eps * count for eps, count in spends.items()))
-
-
-class AdvancedAccountant(ServiceAccountant):
-    """Advanced composition: each homogeneous epsilon group pays the
-    ``sqrt(2 k ln(1/delta')) * eps + k eps (e^eps - 1)`` bound of
-    :func:`repro.dp.composition.advanced_composition`, and groups with
-    distinct epsilons add (basic across groups).  Each group carries the
-    configured ``delta_prime``; the resulting delta is reported, not
-    budgeted — the reproduction's budgets are epsilon-denominated.
-    """
-
-    def __init__(
-        self,
-        per_analyst_epsilon: float | None = None,
-        global_epsilon: float | None = None,
-        max_queries_per_analyst: int | None = None,
-        delta_prime: float = 1e-6,
-    ):
-        super().__init__(per_analyst_epsilon, global_epsilon, max_queries_per_analyst)
-        if not 0 < delta_prime < 1:
-            raise ValueError("delta_prime must lie in (0, 1)")
-        self.delta_prime = float(delta_prime)
-
-    def composed_epsilon(self, spends: dict[float, int]) -> float:
-        total = 0.0
-        for eps, count in spends.items():
-            if eps == 0.0 or count == 0:
-                continue
-            # Advanced composition only helps for k > 1; a single spend is
-            # exactly eps, and the bound would be looser.
-            if count == 1:
-                total += eps
-            else:
-                advanced, _delta = advanced_composition(eps, count, self.delta_prime)
-                total += min(advanced, eps * count)
-        return float(total)
+__all__ = [
+    "AdvancedAccountant",
+    "BasicAccountant",
+    "BudgetExhausted",
+    "ServiceAccountant",
+]

@@ -34,6 +34,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.privacy.kernels import MechanismSpec
 from repro.queries.mechanism import (
     BoundedNoiseAnswerer,
     ExactAnswerer,
@@ -96,23 +97,34 @@ def make_answerer(
 
 
 def per_query_epsilon(answerer: QueryAnswerer) -> float:
-    """The epsilon one answer costs: the mechanism's declared rate, else 0.
+    """The epsilon one answer costs, read off the answerer's mechanism spec.
 
-    Non-DP mechanisms (exact, rounding, subsampling, bounded noise) charge
-    0 — no finite epsilon describes them, so the accountant can only bound
-    them by query count (``max_queries_per_analyst``).
+    Non-DP mechanisms (exact, rounding, subsampling, bounded noise) declare
+    a zero spend — no finite epsilon describes them, so the accountant can
+    only bound them by query count (``max_queries_per_analyst``).  Answerers
+    without a spec (third-party duck types) fall back to their
+    ``epsilon_per_query`` attribute, else 0.
     """
+    spec = getattr(answerer, "spec", None)
+    if spec is not None:
+        return float(spec.spend.epsilon)
     return float(getattr(answerer, "epsilon_per_query", 0.0))
 
 
 @dataclass
 class _AnalystState:
-    """Per-analyst serving state: answerer, cache, serialization lock."""
+    """Per-analyst serving state: answerer, spec, cache, serialization lock.
+
+    The stored :class:`MechanismSpec` is the *auditable identity* of this
+    analyst's mechanism: the epsilon the accountant charges per fresh query
+    is ``spec.spend.epsilon``, the same object a DP verifier would test.
+    """
 
     answerer: QueryAnswerer
     cache: AnswerCache
     lock: threading.Lock
     epsilon_per_query: float
+    spec: MechanismSpec | None = None
 
 
 class AnalystSession:
@@ -139,6 +151,11 @@ class AnalystSession:
     def queries_charged(self) -> int:
         """Fresh (non-cached) queries charged to this analyst."""
         return self._server.accountant.analyst_queries(self.analyst)
+
+    @property
+    def spec(self) -> MechanismSpec | None:
+        """The :class:`MechanismSpec` this analyst's answers come from."""
+        return self._server.mechanism_spec(self.analyst)
 
     @property
     def cache(self) -> AnswerCache:
@@ -201,6 +218,11 @@ class QueryServer:
         self._state(analyst)
         return AnalystSession(self, analyst)
 
+    def mechanism_spec(self, analyst: str) -> MechanismSpec | None:
+        """The named analyst's :class:`MechanismSpec` (None for duck-typed
+        answerers that declare no spec)."""
+        return self._state(analyst).spec
+
     def _state(self, analyst: str) -> _AnalystState:
         with self._states_lock:
             state = self._states.get(analyst)
@@ -216,6 +238,7 @@ class QueryServer:
                     cache=AnswerCache(max_entries=self.cache_entries),
                     lock=threading.Lock(),
                     epsilon_per_query=per_query_epsilon(answerer),
+                    spec=getattr(answerer, "spec", None),
                 )
                 self._states[analyst] = state
             return state

@@ -1,0 +1,32 @@
+"""Golden headline values for the experiments the refactor touched.
+
+E11 (DP verification + PSO under DP) and E18 (service audit) route every
+noise draw and every accountant charge through ``repro.privacy``; their
+quick-mode seed-0 headlines below were recorded pre-refactor and must stay
+bit-identical (hex-float comparison, no tolerance).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+pytestmark = pytest.mark.slow
+
+
+def test_e11_quick_headline_bit_identical():
+    headline = run_experiment("E11", seed=0, quick=True).headline
+    assert float(headline["attack_success_exact_counts"]).hex() == "0x1.47ae147ae147bp-1"
+    assert float(headline["attack_success_dp_eps2"]).hex() == "0x0.0p+0"
+
+
+def test_e18_quick_headline_bit_identical():
+    headline = run_experiment("E18", seed=0, quick=True).headline
+    assert headline["attacker_flagged"] is True
+    assert headline["dashboard_flagged"] is False
+    assert headline["researcher_flagged"] is False
+    assert headline["queries_served_before_trip"] == 496
+    assert headline["audit_passes"] == 31
+    assert float(headline["agreement_at_trip"]).hex() == "0x1.9c00000000000p-1"
+    assert float(headline["dashboard_cache_hit_rate"]).hex() == "0x1.eb851eb851eb8p-1"
+    assert float(headline["dashboard_replay_drift"]).hex() == "0x0.0p+0"
+    assert float(headline["attacker_epsilon_spent"]).hex() == "0x1.f000000000000p+6"

@@ -1,0 +1,244 @@
+"""Tests for the noise-kernel layer (repro.privacy.kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.accounting import PrivacySpend
+from repro.privacy.kernels import (
+    BoundedExtremesKernel,
+    BoundedUniformKernel,
+    GaussianKernel,
+    GeometricKernel,
+    LaplaceKernel,
+    MechanismSpec,
+    RandomizedResponseKernel,
+    ZeroKernel,
+)
+
+
+class TestZeroKernel:
+    def test_scalar_and_vector_are_zero(self):
+        kernel = ZeroKernel()
+        rng = np.random.default_rng(0)
+        assert kernel.sample(rng) == 0.0
+        assert np.all(kernel.sample_n(rng, 5) == 0.0)
+
+    def test_consumes_no_randomness(self):
+        kernel = ZeroKernel()
+        rng = np.random.default_rng(3)
+        kernel.sample(rng)
+        kernel.sample_n(rng, 100)
+        untouched = np.random.default_rng(3)
+        assert rng.random() == untouched.random()
+
+
+class TestLaplaceKernel:
+    def test_calibration_theorem_1_3(self):
+        assert LaplaceKernel.calibrate(0.5).scale == pytest.approx(2.0)
+        assert LaplaceKernel.calibrate(2.0, sensitivity=4.0).scale == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scale must be positive"):
+            LaplaceKernel(0.0)
+        with pytest.raises(ValueError, match="epsilon must be positive"):
+            LaplaceKernel.calibrate(0.0)
+        with pytest.raises(ValueError, match="sensitivity must be positive"):
+            LaplaceKernel.calibrate(1.0, sensitivity=-1.0)
+
+    def test_matches_generator_stream(self):
+        kernel = LaplaceKernel(1.7)
+        assert kernel.sample(np.random.default_rng(5)) == float(
+            np.random.default_rng(5).laplace(0.0, 1.7)
+        )
+        got = kernel.sample_n(np.random.default_rng(5), 9)
+        want = np.random.default_rng(5).laplace(0.0, 1.7, size=9)
+        assert np.array_equal(got, want)
+
+
+class TestGaussianKernel:
+    def test_classical_calibration(self):
+        kernel = GaussianKernel.calibrate(1.0, 1e-5)
+        assert kernel.sigma == pytest.approx(np.sqrt(2 * np.log(1.25 / 1e-5)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="0 < epsilon <= 1"):
+            GaussianKernel.calibrate(2.0, 1e-5)
+        with pytest.raises(ValueError, match="delta must lie in"):
+            GaussianKernel.calibrate(0.5, 0.0)
+        with pytest.raises(ValueError, match="sigma must be positive"):
+            GaussianKernel(0.0)
+
+    def test_matches_generator_stream(self):
+        kernel = GaussianKernel(2.5)
+        assert kernel.sample(np.random.default_rng(8)) == float(
+            np.random.default_rng(8).normal(0.0, 2.5)
+        )
+        got = kernel.sample_n(np.random.default_rng(8), (3, 4))
+        want = np.random.default_rng(8).normal(0.0, 2.5, size=(3, 4))
+        assert np.array_equal(got, want)
+
+
+class TestGeometricKernel:
+    def test_calibration(self):
+        kernel = GeometricKernel.calibrate(1.0)
+        assert kernel.p == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_scalar_matches_interleaved_pair(self):
+        # The scalar path draws (positive, negative); the vectorized path
+        # must consume the same stream pairwise.
+        kernel = GeometricKernel.calibrate(0.8)
+        rng = np.random.default_rng(11)
+        positive = np.random.default_rng(11).geometric(kernel.p) - 1
+        negative_rng = np.random.default_rng(11)
+        negative_rng.geometric(kernel.p)
+        negative = negative_rng.geometric(kernel.p) - 1
+        assert kernel.sample(rng) == float(positive - negative)
+
+    def test_vectorized_matches_scalar_stream(self):
+        kernel = GeometricKernel.calibrate(0.8)
+        scalar_rng = np.random.default_rng(12)
+        scalars = [kernel.sample(scalar_rng) for _ in range(6)]
+        vector = kernel.sample_n(np.random.default_rng(12), 6)
+        assert np.array_equal(vector, np.array(scalars))
+
+    def test_integer_valued(self):
+        draws = GeometricKernel.calibrate(0.5).sample_n(np.random.default_rng(1), 50)
+        assert np.array_equal(draws, np.round(draws))
+
+
+class TestBoundedKernels:
+    def test_alpha_zero_consumes_no_randomness(self):
+        for kernel in (BoundedUniformKernel(0.0), BoundedExtremesKernel(0.0)):
+            rng = np.random.default_rng(7)
+            assert kernel.sample(rng) == 0.0
+            assert np.all(kernel.sample_n(rng, 8) == 0.0)
+            assert rng.random() == np.random.default_rng(7).random()
+
+    def test_uniform_within_bounds(self):
+        draws = BoundedUniformKernel(2.0).sample_n(np.random.default_rng(2), 500)
+        assert np.all(np.abs(draws) <= 2.0)
+
+    def test_extremes_hit_only_endpoints(self):
+        draws = BoundedExtremesKernel(3.0).sample_n(np.random.default_rng(2), 500)
+        assert set(np.unique(draws)) == {-3.0, 3.0}
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedUniformKernel(-1.0)
+        with pytest.raises(ValueError):
+            BoundedExtremesKernel(-0.5)
+
+
+class TestRandomizedResponseKernel:
+    def test_calibration(self):
+        kernel = RandomizedResponseKernel.calibrate(np.log(3.0))
+        assert kernel.truth_probability == pytest.approx(0.75)
+
+    def test_huge_epsilon_allowed(self):
+        # exp(eps)/(1+exp(eps)) rounds to exactly 1.0 for large epsilon.
+        assert RandomizedResponseKernel.calibrate(50.0).truth_probability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="truth_probability"):
+            RandomizedResponseKernel(0.4)
+        with pytest.raises(ValueError, match="truth_probability"):
+            RandomizedResponseKernel(1.1)
+
+    def test_flip_mask_complements_keep_mask(self):
+        # flips (u >= p) must be the exact complement of keeps (u < p) on
+        # the same uniform stream.
+        kernel = RandomizedResponseKernel(0.75)
+        flips = kernel.sample_n(np.random.default_rng(4), 200)
+        keeps = np.random.default_rng(4).random(200) < 0.75
+        assert np.array_equal(flips.astype(bool), ~keeps)
+
+
+class TestMechanismSpec:
+    def test_defaults(self):
+        spec = MechanismSpec(name="exact", kernel=ZeroKernel())
+        assert spec.spend.epsilon == 0.0
+        assert spec.sensitivity == 1.0
+        assert not spec.dp
+
+    def test_epsilon_per_query(self):
+        spec = MechanismSpec(
+            name="laplace",
+            kernel=LaplaceKernel.calibrate(0.5),
+            spend=PrivacySpend(0.5),
+            dp=True,
+        )
+        assert spec.epsilon_per_query == 0.5
+
+    def test_dp_claim_requires_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            MechanismSpec(name="bogus", kernel=ZeroKernel(), dp=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MechanismSpec(name="x", kernel=ZeroKernel(), sensitivity=0.0)
+        with pytest.raises(ValueError):
+            MechanismSpec(name="x", kernel=ZeroKernel(), error_bound=-1.0)
+
+    def test_frozen(self):
+        spec = MechanismSpec(name="exact", kernel=ZeroKernel())
+        with pytest.raises(AttributeError):
+            spec.name = "other"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    scale=st.floats(min_value=1e-3, max_value=1e3),
+    count=st.integers(min_value=1, max_value=32),
+)
+def test_scalar_loop_equals_vectorized_laplace(seed, scale, count):
+    """Property: n scalar draws == one vectorized draw of n, any seed."""
+    kernel = LaplaceKernel(scale)
+    scalar_rng = np.random.default_rng(seed)
+    scalars = np.array([kernel.sample(scalar_rng) for _ in range(count)])
+    vector = kernel.sample_n(np.random.default_rng(seed), count)
+    assert np.array_equal(scalars, vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    sigma=st.floats(min_value=1e-3, max_value=1e3),
+    count=st.integers(min_value=1, max_value=32),
+)
+def test_scalar_loop_equals_vectorized_gaussian(seed, sigma, count):
+    kernel = GaussianKernel(sigma)
+    scalar_rng = np.random.default_rng(seed)
+    scalars = np.array([kernel.sample(scalar_rng) for _ in range(count)])
+    vector = kernel.sample_n(np.random.default_rng(seed), count)
+    assert np.array_equal(scalars, vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    epsilon=st.floats(min_value=0.05, max_value=8.0),
+    count=st.integers(min_value=1, max_value=32),
+)
+def test_scalar_loop_equals_vectorized_geometric(seed, epsilon, count):
+    kernel = GeometricKernel.calibrate(epsilon)
+    scalar_rng = np.random.default_rng(seed)
+    scalars = np.array([kernel.sample(scalar_rng) for _ in range(count)])
+    vector = kernel.sample_n(np.random.default_rng(seed), count)
+    assert np.array_equal(scalars, vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    alpha=st.floats(min_value=0.0, max_value=10.0),
+    count=st.integers(min_value=1, max_value=32),
+)
+def test_scalar_loop_equals_vectorized_bounded(seed, alpha, count):
+    for kernel in (BoundedUniformKernel(alpha), BoundedExtremesKernel(alpha)):
+        scalar_rng = np.random.default_rng(seed)
+        scalars = np.array([kernel.sample(scalar_rng) for _ in range(count)])
+        vector = kernel.sample_n(np.random.default_rng(seed), count)
+        assert np.array_equal(scalars, vector)

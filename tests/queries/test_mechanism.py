@@ -29,8 +29,14 @@ class TestExactAnswerer:
     def test_query_counter(self, data):
         answerer = ExactAnswerer(data)
         queries = random_subset_queries(50, 7, rng=1)
-        answerer.answer_all(queries)
+        answerer.answer_workload(queries)
         assert answerer.queries_answered == 7
+
+    def test_answer_all_is_an_alias_of_answer_workload(self, data):
+        queries = random_subset_queries(50, 7, rng=1)
+        via_alias = ExactAnswerer(data).answer_all(queries)
+        via_workload = ExactAnswerer(data).answer_workload(queries)
+        assert np.array_equal(via_alias, via_workload)
 
     def test_size_mismatch_rejected(self, data):
         answerer = ExactAnswerer(data)
@@ -114,7 +120,7 @@ class TestLaplaceAnswerer:
 
     def test_epsilon_accounting(self, data):
         answerer = LaplaceAnswerer(data, epsilon_per_query=0.5, rng=7)
-        answerer.answer_all(random_subset_queries(50, 4, rng=8))
+        answerer.answer_workload(random_subset_queries(50, 4, rng=8))
         assert answerer.epsilon_spent == pytest.approx(2.0)
 
     def test_noise_is_centered(self, data):

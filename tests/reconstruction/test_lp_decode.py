@@ -76,7 +76,7 @@ class TestReconstructFromAnswers:
         data = rng.integers(0, 2, size=n)
         queries = random_subset_queries(n, 8 * n, rng=rng)
         answerer = ExactAnswerer(data)
-        answers = answerer.answer_all(queries)
+        answers = answerer.answer_workload(queries)
         result = reconstruct_from_answers(queries, answers, alpha=0.0)
         assert result.agreement_with(data) >= 0.98
 
@@ -90,7 +90,7 @@ class TestReconstructFromAnswers:
         n = 32
         data = rng.integers(0, 2, size=n)
         queries = random_subset_queries(n, 6 * n, rng=rng)
-        answers = ExactAnswerer(data).answer_all(queries)
+        answers = ExactAnswerer(data).answer_workload(queries)
         result = reconstruct_from_answers(queries, answers)
         assert result.mode == "least-l1"
 

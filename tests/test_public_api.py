@@ -33,6 +33,7 @@ class TestTopLevelExports:
         for name in (
             "repro.utils",
             "repro.data",
+            "repro.privacy",
             "repro.queries",
             "repro.dp",
             "repro.anonymity",
@@ -54,6 +55,7 @@ class TestTopLevelExports:
         for name in (
             "repro.utils",
             "repro.data",
+            "repro.privacy",
             "repro.queries",
             "repro.dp",
             "repro.anonymity",
