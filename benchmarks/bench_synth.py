@@ -1,0 +1,228 @@
+"""Benchmark: synthetic-data generation across the repro.synth stack.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_synth.py
+    PYTHONPATH=src python benchmarks/bench_synth.py --smoke
+
+**Update-rule kernel.**  The vectorized :func:`repro.synth.mwem.
+multiplicative_update` against an explicit per-cell Python loop, asserted
+bit-identical (``np.array_equal``) on every repetition — the speedup is
+only reportable because the two paths agree to the last float.
+
+**MWEM synthesis.**  End-to-end :class:`~repro.synth.mwem.MWEMSynthesizer`
+wall time over a grid of census sizes and workload sizes: cells scale with
+the block count, queries with the workload, and the per-round cost is one
+sparse matvec per pass.  Reported as seconds and rounds/sec.
+
+**Hierarchical + binary generators.**  One timing row each for the
+TopDown-style :class:`~repro.synth.hierarchical.HierarchicalSynthesizer`
+(geometric noise + consistency LP) and the service-facing
+:func:`repro.synth.binary.synthesize_binary` fallback release.
+
+Results are written to ``BENCH_synth.json`` (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.censusblocks import CensusConfig, generate_census
+from repro.queries.workload import Workload
+from repro.synth import CellDomain, HierarchicalSynthesizer, MWEMSynthesizer
+from repro.synth.binary import synthesize_binary
+from repro.synth.mwem import multiplicative_update
+from repro.utils.rng import derive_rng
+
+#: Attributes spanning the census cell domain (identifier excluded).
+ATTRIBUTES = ("block", "sex", "age", "race", "ethnicity")
+
+
+def _loop_update(
+    weights: np.ndarray, mask: np.ndarray, gap: float, total: float
+) -> np.ndarray:
+    """The scalar reference implementation of one MWEM re-weighting step."""
+    updated = weights.copy()
+    factor = np.exp(gap / (2.0 * total))
+    for index in range(weights.size):
+        if mask[index]:
+            updated[index] = weights[index] * factor
+    return updated * (total / updated.sum())
+
+
+def bench_update(cells: int, repetitions: int, seed: int) -> dict:
+    """Vectorized vs per-cell-loop update; asserts bit-identity throughout."""
+    rng = derive_rng(seed, "bench-update", cells)
+    weights = rng.random(cells) + 1e-6
+    masks = rng.random((repetitions, cells)) < 0.3
+    gaps = rng.uniform(-10.0, 10.0, size=repetitions)
+    total = float(weights.sum())
+
+    start = time.perf_counter()
+    vectorized = [
+        multiplicative_update(weights, masks[i], float(gaps[i]), total)
+        for i in range(repetitions)
+    ]
+    vector_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = [
+        _loop_update(weights, masks[i], float(gaps[i]), total)
+        for i in range(repetitions)
+    ]
+    loop_elapsed = time.perf_counter() - start
+
+    for fast, slow in zip(vectorized, looped):
+        assert np.array_equal(fast, slow), (
+            "vectorized multiplicative_update diverged from the scalar loop"
+        )
+    return {
+        "cells": cells,
+        "repetitions": repetitions,
+        "vectorized_seconds": vector_elapsed,
+        "loop_seconds": loop_elapsed,
+        "speedup": loop_elapsed / max(vector_elapsed, 1e-9),
+    }
+
+
+def bench_mwem(blocks: int, max_age: int, queries: int, rounds: int, seed: int) -> dict:
+    """End-to-end MWEM synthesis wall time for one census scale."""
+    config = CensusConfig(
+        blocks=blocks, mean_block_size=10, max_block_size=25, age_range=(0, max_age)
+    )
+    census = generate_census(config, rng=derive_rng(seed, "bench-census", blocks))
+    domain = CellDomain.from_dataset(census, ATTRIBUTES)
+    workload = Workload.random(
+        domain.size, queries, density=0.1, rng=derive_rng(seed, "bench-wl", blocks)
+    )
+    synthesizer = MWEMSynthesizer(workload, 1.0, rounds=rounds, domain=domain)
+
+    start = time.perf_counter()
+    release = synthesizer.synthesize(census, rng=derive_rng(seed, "bench-mwem", blocks))
+    elapsed = time.perf_counter() - start
+    assert len(release) == len(census)
+    return {
+        "blocks": blocks,
+        "records": len(census),
+        "cells": domain.size,
+        "queries": queries,
+        "rounds": rounds,
+        "seconds": elapsed,
+        "rounds_per_second": rounds / max(elapsed, 1e-9),
+    }
+
+
+def bench_hierarchical(blocks: int, max_age: int, seed: int) -> dict:
+    """TopDown-style release: geometric noise + LP consistency + expansion."""
+    config = CensusConfig(
+        blocks=blocks, mean_block_size=10, max_block_size=25, age_range=(0, max_age)
+    )
+    census = generate_census(config, rng=derive_rng(seed, "bench-census", blocks))
+    synthesizer = HierarchicalSynthesizer(1.0)
+    start = time.perf_counter()
+    release = synthesizer.synthesize(census, rng=derive_rng(seed, "bench-hier", blocks))
+    elapsed = time.perf_counter() - start
+    return {
+        "blocks": blocks,
+        "records_in": len(census),
+        "records_out": len(release),
+        "seconds": elapsed,
+    }
+
+
+def bench_binary(n: int, seed: int) -> dict:
+    """The query server's fallback release of one n-bit vector."""
+    data = derive_rng(seed, "bench-bits", n).integers(0, 2, size=n)
+    start = time.perf_counter()
+    release = synthesize_binary(data, 1.0, rounds=10, rng=derive_rng(seed, "bench-bin", n))
+    elapsed = time.perf_counter() - start
+    assert release.vector.sum() == data.sum()  # public total is preserved
+    return {"n": n, "seconds": elapsed}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes for CI")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_synth.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="skip writing the JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        update_grid = [(2_000, 50)]
+        mwem_grid = [(6, 39, 100, 10)]
+        hier_blocks, hier_age = 6, 39
+        binary_sizes = [128]
+    else:
+        update_grid = [(10_000, 200), (100_000, 50)]
+        mwem_grid = [(10, 59, 300, 30), (20, 79, 300, 30), (20, 79, 600, 30)]
+        hier_blocks, hier_age = 20, 79
+        binary_sizes = [256, 1_024]
+
+    updates = []
+    for cells, repetitions in update_grid:
+        entry = bench_update(cells, repetitions, args.seed)
+        updates.append(entry)
+        print(
+            f"update {cells:>7,} cells x {repetitions}: "
+            f"{entry['speedup']:.1f}x over the scalar loop (bit-identical)",
+            flush=True,
+        )
+
+    mwem = []
+    for blocks, max_age, queries, rounds in mwem_grid:
+        entry = bench_mwem(blocks, max_age, queries, rounds, args.seed)
+        mwem.append(entry)
+        print(
+            f"mwem blocks={blocks} cells={entry['cells']:,} "
+            f"queries={queries}: {entry['seconds']:.2f}s "
+            f"({entry['rounds_per_second']:.1f} rounds/s)",
+            flush=True,
+        )
+
+    hierarchical = bench_hierarchical(hier_blocks, hier_age, args.seed)
+    print(
+        f"hierarchical blocks={hier_blocks}: {hierarchical['seconds']:.2f}s "
+        f"({hierarchical['records_in']} -> {hierarchical['records_out']} records)",
+        flush=True,
+    )
+
+    binary = []
+    for n in binary_sizes:
+        entry = bench_binary(n, args.seed)
+        binary.append(entry)
+        print(f"binary n={n}: {entry['seconds']:.2f}s", flush=True)
+
+    payload = {
+        "benchmark": "synth",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "update_rule": updates,
+        "mwem": mwem,
+        "hierarchical": hierarchical,
+        "binary": binary,
+    }
+    if not args.no_write:
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

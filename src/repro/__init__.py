@@ -20,10 +20,10 @@ the most commonly used entry points are re-exported here:
 * the service layer —
   :class:`~repro.service.server.QueryServer`,
   :class:`~repro.service.audit.ReconstructionAuditor`, and the typed
-  refusals :class:`~repro.service.accountant.BudgetExhausted` /
+  refusals :class:`~repro.privacy.accounting.BudgetExhausted` /
   :class:`~repro.service.audit.CircuitBreakerTripped`;
 * the experiment harness —
-  :func:`~repro.experiments.run_experiment` (E1-E18).
+  :func:`~repro.experiments.run_experiment` (E1-E19).
 
 Quick tour::
 

@@ -8,7 +8,7 @@ epsilon-differentially private") is checked by measurement rather than
 assumed.
 """
 
-from repro.dp.composition import (
+from repro.privacy.accounting import (
     BudgetExhausted,
     PrivacyAccountant,
     PrivacySpend,

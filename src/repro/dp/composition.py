@@ -12,9 +12,21 @@ raises :class:`~repro.privacy.accounting.BudgetExhausted` — a
 are unaffected — and additionally offers all-or-nothing
 ``reserve``/``rollback`` batch charging and an optional query-count
 budget.
+
+Importing this module emits a :class:`DeprecationWarning` — import from
+:mod:`repro.privacy.accounting` instead.
 """
 
-from repro.privacy.accounting import (
+import warnings
+
+warnings.warn(
+    "repro.dp.composition is deprecated; import the composition math and "
+    "accountant from repro.privacy.accounting instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.privacy.accounting import (  # noqa: E402
     BudgetExhausted,
     PrivacyAccountant,
     PrivacySpend,

@@ -2,7 +2,7 @@
 
 The paper is a keynote without measurement tables, so its "evaluation" is
 the set of quantitative claims indexed in DESIGN.md (Section 5), extended
-by the later subsystem experiments (E13-E18).
+by the later subsystem experiments (E13-E19).
 Each module here regenerates one claim end to end — workload, attack,
 baseline, and a paper-vs-measured table — and the benchmark suite under
 ``benchmarks/`` wraps each with pytest-benchmark.
@@ -45,6 +45,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration imports)
     e16_genomic_membership,
     e17_graph_deanonymization,
     e18_service_audit,
+    e19_synthetic_release,
 )
 
 __all__ = [

@@ -1,0 +1,182 @@
+"""E19 — DP synthetic data, attacked with the repo's own attack suite.
+
+The paper's closing argument is that formal privacy is the only release
+strategy that survives its own attack chapter.  E19 makes that argument
+executable for *synthetic microdata*, the release format statistical
+agencies actually ship: three generators from :mod:`repro.synth` publish a
+synthetic census for the same simulated town, and every release is then
+attacked with the repo's uniqueness (E4), linkage (E5), and
+tabulate-then-reconstruct (E7) machinery plus a counting-query utility
+metric.
+
+* :class:`~repro.synth.mwem.MWEMSynthesizer` (the DP workhorse) is swept
+  over ``epsilon in {0.1, 1, 10}`` — utility must improve monotonically
+  with budget while linkage stays defeated.
+* :class:`~repro.synth.hierarchical.HierarchicalSynthesizer` (the
+  TopDown-style block/national release) shows the same defense from a
+  hierarchical-counts mechanism.
+* :class:`~repro.synth.independent.IndependentSynthesizer` resamples
+  per-block marginals with *no* noise — the "synthetic, therefore safe"
+  fallacy.  It leaks: the commercial-file join re-identifies real people
+  through the synthetic rows.
+
+Every DP release is charged to one
+:class:`~repro.privacy.accounting.PrivacyAccountant`, so the headline also
+reports the total epsilon the sweep actually spent.
+"""
+
+from __future__ import annotations
+
+from repro.data.censusblocks import (
+    CensusConfig,
+    commercial_database,
+    generate_census,
+)
+from repro.experiments.runner import ExperimentResult, register
+from repro.privacy.accounting import PrivacyAccountant
+from repro.queries.workload import Workload
+from repro.synth import (
+    CellDomain,
+    HierarchicalSynthesizer,
+    IndependentSynthesizer,
+    MWEMSynthesizer,
+    SyntheticEvaluation,
+    baseline_linkage,
+    evaluate_release,
+)
+from repro.utils.plots import ascii_chart
+from repro.utils.rng import derive_rng
+from repro.utils.tables import Table
+
+#: The attributes every synthesizer publishes (census order).
+_ATTRIBUTES = ("block", "sex", "age", "race", "ethnicity")
+
+#: The MWEM budget sweep; the middle point is the flagship release.
+_EPSILONS = (0.1, 1.0, 10.0)
+
+
+@register("E19")
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Publish three synthetic censuses; attack each; tabulate the fallout."""
+    if quick:
+        config = CensusConfig(
+            blocks=10, mean_block_size=8, max_block_size=20, age_range=(0, 59)
+        )
+        num_queries, rounds = 300, 30
+    else:
+        config = CensusConfig(
+            blocks=20, mean_block_size=12, max_block_size=30, age_range=(0, 79)
+        )
+        num_queries, rounds = 500, 40
+
+    census = generate_census(config, rng=derive_rng(seed, "e19-census"))
+    commercial = commercial_database(
+        census, coverage=0.9, age_error=1, rng=derive_rng(seed, "e19-commercial")
+    )
+    domain = CellDomain.from_dataset(census, _ATTRIBUTES)
+    workload = Workload.random(
+        domain.size, num_queries, density=0.1, rng=derive_rng(seed, "e19-workload")
+    )
+    baseline = baseline_linkage(census, commercial)
+    accountant = PrivacyAccountant()
+
+    def attack(release) -> SyntheticEvaluation:
+        return evaluate_release(
+            release, census, commercial, workload=workload, domain=domain
+        )
+
+    evaluations: list[SyntheticEvaluation] = []
+    mwem_errors: dict[float, float] = {}
+    mwem_rates: dict[float, float] = {}
+    for epsilon in _EPSILONS:
+        synthesizer = MWEMSynthesizer(
+            workload, epsilon, rounds=rounds, domain=domain
+        )
+        release = synthesizer.synthesize(
+            census,
+            accountant=accountant,
+            rng=derive_rng(seed, "e19-mwem", str(epsilon)),
+        )
+        evaluation = attack(release)
+        evaluations.append(evaluation)
+        mwem_errors[epsilon] = float(evaluation.workload_error)
+        mwem_rates[epsilon] = evaluation.linkage.confirmed / baseline.population
+
+    hierarchical = HierarchicalSynthesizer(1.0).synthesize(
+        census, accountant=accountant, rng=derive_rng(seed, "e19-hierarchical")
+    )
+    evaluations.append(attack(hierarchical))
+
+    independent = IndependentSynthesizer(
+        attributes=("sex", "age", "race", "ethnicity"), group_by=("block",)
+    ).synthesize(census, accountant=accountant, rng=derive_rng(seed, "e19-independent"))
+    independent_evaluation = attack(independent)
+    evaluations.append(independent_evaluation)
+
+    qi_full = _ATTRIBUTES
+    sweep = Table(
+        [
+            "release",
+            "eps",
+            "records",
+            "unique frac",
+            "linked",
+            "recon linked",
+            "workload err",
+        ],
+        title=(
+            f"E19: attacks on synthetic releases of one n={len(census)} census "
+            f"(baseline linkage {baseline.confirmed}/{baseline.population})"
+        ),
+    )
+    for evaluation in evaluations:
+        recon = evaluation.reconstruction_linkage
+        sweep.add_row(
+            [
+                evaluation.name,
+                f"{evaluation.epsilon:g}",
+                evaluation.records,
+                f"{evaluation.uniqueness[qi_full]:.3f}",
+                f"{evaluation.linkage.confirmed}/{baseline.population}",
+                f"{recon.confirmed}/{baseline.population}" if recon else "-",
+                f"{evaluation.workload_error:.4f}",
+            ]
+        )
+
+    figure = ascii_chart(
+        [float(epsilon) for epsilon in _EPSILONS],
+        [mwem_errors[epsilon] for epsilon in _EPSILONS],
+        title="E19: MWEM workload error vs epsilon (utility buys budget)",
+        x_label="epsilon",
+        y_label="mean workload error",
+    )
+
+    flagship_rate = mwem_rates[1.0]
+    baseline_rate = baseline.confirmed / baseline.population
+    independent_rate = independent_evaluation.linkage.confirmed / baseline.population
+    total_epsilon, _total_delta = accountant.total()
+    return ExperimentResult(
+        experiment_id="E19",
+        title="Synthetic-data release under the full attack suite",
+        paper_claim=(
+            "Synthetic data is not inherently private: only releases backed "
+            "by a formal DP guarantee defeat the linkage attacks, and their "
+            "utility improves monotonically with the privacy budget"
+        ),
+        tables=(sweep,),
+        headline={
+            "baseline_reidentified_rate": baseline_rate,
+            "mwem_eps1_reidentified_rate": flagship_rate,
+            "independent_reidentified_rate": independent_rate,
+            "mwem_defeats_linkage": flagship_rate <= baseline_rate,
+            "independent_leaks": independent_rate > flagship_rate,
+            "mwem_error_eps01": mwem_errors[0.1],
+            "mwem_error_eps1": mwem_errors[1.0],
+            "mwem_error_eps10": mwem_errors[10.0],
+            "error_monotone": mwem_errors[0.1]
+            > mwem_errors[1.0]
+            > mwem_errors[10.0],
+            "epsilon_charged": total_epsilon,
+        },
+        figures=(figure,),
+    )

@@ -494,6 +494,25 @@ class ServiceAccountant(PrivacyAccountant, ABC):
             # so the service reports a basic global (epsilon, delta) total.
             super().reserve(count, epsilon_per_query)
 
+    def refund(self, analyst: str, count: int, epsilon_per_query: float) -> None:
+        """Return a charge to the budgets (the inverse of :meth:`charge`).
+
+        For callers whose work fails *after* a successful charge — e.g. a
+        synthetic release whose generation raises.  Like
+        :meth:`PrivacyAccountant.rollback`, only the most recent charges of
+        the same shape may be refunded.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        with self._lock:
+            ledger = self._ledgers.get(analyst)
+            if ledger is None:
+                raise ValueError(f"no charges recorded for analyst {analyst!r}")
+            ledger.rollback(count, epsilon_per_query)
+            super().rollback(count, epsilon_per_query)
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(global_spent={self.global_spent():.4f}, "

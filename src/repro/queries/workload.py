@@ -105,8 +105,12 @@ class Workload:
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
         if n > MAX_EXHAUSTIVE_N:
+            mask_bytes = (2**n - 1) * n
             raise ValueError(
-                f"refusing to materialize 2^{n} queries (cap is n={MAX_EXHAUSTIVE_N})"
+                f"refusing to materialize 2^{n} - 1 = {2**n - 1:,} queries: "
+                f"the boolean mask matrix alone would need {mask_bytes:,} "
+                f"bytes (~{mask_bytes / 2**30:,.1f} GiB); the cap is "
+                f"n={MAX_EXHAUSTIVE_N}"
             )
         bits = np.arange(1, 2**n, dtype=np.int64)
         masks = ((bits[:, None] >> np.arange(n)) & 1).astype(bool)

@@ -22,12 +22,17 @@ from repro.reconstruction.dinur_nissim import (
     ExhaustiveReconstructionResult,
     exhaustive_reconstruction,
 )
-from repro.reconstruction.lp_decode import LpReconstructionResult, lp_reconstruction
+from repro.reconstruction.lp_decode import (
+    LpReconstructionResult,
+    lp_reconstruction,
+    solve_least_l1,
+)
 from repro.reconstruction.tabulation import BlockTables, tabulate_blocks
 from repro.reconstruction.census_solver import (
     CensusReconstructionResult,
     reconstruct_census,
     reidentify,
+    reidentify_records,
 )
 
 __all__ = [
@@ -39,5 +44,7 @@ __all__ = [
     "lp_reconstruction",
     "reconstruct_census",
     "reidentify",
+    "reidentify_records",
+    "solve_least_l1",
     "tabulate_blocks",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import LinearConstraint, milp
@@ -332,8 +333,27 @@ def reidentify(
     a putative re-identification; it is *confirmed* when the candidate's
     full record equals the person's true record.
     """
+    return reidentify_records(
+        reconstruction.records, commercial, truth, age_tolerance
+    )
+
+
+def reidentify_records(
+    records: Sequence[ReconstructedRecord],
+    commercial: Dataset,
+    truth: Dataset,
+    age_tolerance: int = 1,
+) -> ReidentificationResult:
+    """The :func:`reidentify` linkage against any (block, sex, age, race,
+    ethnicity) record collection.
+
+    The records need not come from a reconstruction — the synthetic-release
+    evaluation (:mod:`repro.synth.evaluation`) links the commercial file
+    directly against *published* synthetic microdata to measure how much
+    re-identification power a release retains.
+    """
     by_block: dict[int, list[ReconstructedRecord]] = {}
-    for record in reconstruction.records:
+    for record in records:
         by_block.setdefault(record[0], []).append(record)
 
     truth_by_id = {

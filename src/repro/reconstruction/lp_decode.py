@@ -212,13 +212,33 @@ def _solve_feasibility(
 def _solve_least_l1(
     matrix, answers: np.ndarray, solver: str = DEFAULT_LP_SOLVER
 ) -> np.ndarray:
-    """Minimize ||A z - a||_1 over z in [0,1]^n via the standard LP lift.
+    """Minimize ||A z - a||_1 over z in [0,1]^n via the standard LP lift."""
+    return solve_least_l1(matrix, answers, solver=solver)
+
+
+def solve_least_l1(
+    matrix,
+    targets: np.ndarray,
+    *,
+    lower: float = 0.0,
+    upper: float | None = 1.0,
+    solver: str = DEFAULT_LP_SOLVER,
+) -> np.ndarray:
+    """Minimize ``||A z - a||_1`` over box-bounded ``z`` via the LP lift.
 
     Variables are (z, t) with -t <= A z - a <= t and objective sum(t);
     ``matrix`` may be dense or CSR sparse, and the lifted block matrix is
-    assembled in the matching format.
+    assembled in the matching format.  The decoding attacks use the default
+    ``[0, 1]`` box (``z`` is a candidate bit vector); DP post-processing
+    (:mod:`repro.synth.hierarchical`) reuses the same solve with
+    ``upper=None`` to fit non-negative count vectors to noisy tables.
     """
+    answers = np.asarray(targets, dtype=float)
     m, n = matrix.shape
+    if answers.shape != (m,):
+        raise ValueError(f"targets have shape {answers.shape}, expected ({m},)")
+    if upper is not None and upper < lower:
+        raise ValueError(f"empty box: lower={lower}, upper={upper}")
     # Objective: 0 * z + 1 * t.
     c = np.concatenate([np.zeros(n), np.ones(m)])
     # A z - t <= a  and  -A z - t <= -a.
@@ -236,8 +256,10 @@ def _solve_least_l1(
             ]
         )
     b_ub = np.concatenate([answers, -answers])
-    bounds = [(0.0, 1.0)] * n + [(0.0, None)] * m
+    bounds = [(lower, upper)] * n + [(0.0, None)] * m
     result = linprog(c=c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=solver)
     if not result.success:
         raise RuntimeError(f"LP solver failed: {result.message}")
-    return np.clip(result.x[:n], 0.0, 1.0)
+    if upper is None:
+        return np.maximum(result.x[:n], lower)
+    return np.clip(result.x[:n], lower, upper)

@@ -8,9 +8,10 @@ subpackage is that interface, in-process:
 
 * :mod:`repro.service.server` — :class:`QueryServer`, multi-analyst
   sessions routing queries and workloads to a configured mechanism;
-* :mod:`repro.service.accountant` — pluggable per-analyst/global epsilon
+* :mod:`repro.privacy.accounting` — pluggable per-analyst/global epsilon
   ledgers (basic and advanced composition) with all-or-nothing charges and
-  typed :class:`BudgetExhausted` refusals;
+  typed :class:`BudgetExhausted` refusals (``repro.service.accountant`` is
+  a deprecated re-export shim);
 * :mod:`repro.service.cache` — canonical query fingerprints and the answer
   cache that makes repeated queries free and bit-identical (consistency);
 * :mod:`repro.service.audit` — the append-only audit log and the online
@@ -21,7 +22,7 @@ Experiment E18 and ``benchmarks/bench_service_throughput.py`` exercise the
 whole stack end to end.
 """
 
-from repro.service.accountant import (
+from repro.privacy.accounting import (
     AdvancedAccountant,
     BasicAccountant,
     BudgetExhausted,
@@ -33,12 +34,14 @@ from repro.service.audit import (
     AuditReport,
     CircuitBreakerTripped,
     ReconstructionAuditor,
+    ReleaseRecord,
 )
 from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
 from repro.service.server import (
     MECHANISM_FACTORIES,
     AnalystSession,
     QueryServer,
+    SyntheticFallback,
     make_answerer,
     per_query_epsilon,
 )
@@ -56,7 +59,9 @@ __all__ = [
     "MECHANISM_FACTORIES",
     "QueryServer",
     "ReconstructionAuditor",
+    "ReleaseRecord",
     "ServiceAccountant",
+    "SyntheticFallback",
     "make_answerer",
     "per_query_epsilon",
     "query_fingerprint",

@@ -6,10 +6,21 @@ extension of the same :class:`~repro.privacy.accounting.PrivacyAccountant`
 that ``repro.dp`` exposes — shared :class:`PrivacySpend`, shared
 basic/advanced composition math, shared all-or-nothing reserve/rollback.
 This module remains so that ``from repro.service.accountant import
-BudgetExhausted`` (and the accountant classes) keeps working.
+BudgetExhausted`` (and the accountant classes) keeps working, but importing
+it emits a :class:`DeprecationWarning` — import from
+:mod:`repro.privacy.accounting` instead.
 """
 
-from repro.privacy.accounting import (
+import warnings
+
+warnings.warn(
+    "repro.service.accountant is deprecated; import the accountants from "
+    "repro.privacy.accounting instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.privacy.accounting import (  # noqa: E402
     AdvancedAccountant,
     BasicAccountant,
     BudgetExhausted,

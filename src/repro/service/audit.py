@@ -25,9 +25,12 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.privacy.kernels import MechanismSpec
 
 from repro.queries.query import _validate_binary
 from repro.queries.workload import Workload
@@ -67,6 +70,9 @@ class AuditRecord:
     cached: bool
     epsilon: float
     timestamp: float
+    #: Where the answer came from: ``"mechanism"`` for the interactive
+    #: noise mechanism, ``"synthetic"`` for the pre-paid fallback release.
+    source: str = "mechanism"
 
     def to_dict(self) -> dict:
         """A JSON-serializable view (fingerprint and mask hex-encoded)."""
@@ -81,6 +87,7 @@ class AuditRecord:
             "cached": self.cached,
             "epsilon": self.epsilon,
             "timestamp": self.timestamp,
+            "source": self.source,
         }
 
     def mask(self) -> np.ndarray:
@@ -90,11 +97,27 @@ class AuditRecord:
         ).astype(bool)
 
 
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """One synthetic release noted in the audit log.
+
+    The release's :class:`~repro.privacy.kernels.MechanismSpec` is logged
+    whole so an auditor can replay the fallback's provenance: which
+    kernel, what spend, charged to which analyst's budget.
+    """
+
+    seq: int
+    analyst: str
+    spec: "MechanismSpec"
+    timestamp: float
+
+
 class AuditLog:
     """Append-only, thread-safe structured log of every served query."""
 
     def __init__(self):
         self._records: list[AuditRecord] = []
+        self._releases: list[ReleaseRecord] = []
         self._lock = threading.Lock()
         self._seq = 0
 
@@ -106,6 +129,7 @@ class AuditLog:
         answer: float,
         cached: bool,
         epsilon: float,
+        source: str = "mechanism",
     ) -> AuditRecord:
         """Append one served query; the log assigns the sequence number."""
         record_mask = np.asarray(mask, dtype=bool)
@@ -121,10 +145,30 @@ class AuditLog:
                 cached=bool(cached),
                 epsilon=float(epsilon),
                 timestamp=time.time(),
+                source=source,
             )
             self._records.append(record)
             self._seq += 1
             return record
+
+    def note_release(self, analyst: str, spec: "MechanismSpec") -> ReleaseRecord:
+        """Record a synthetic release (its full mechanism spec) in the log."""
+        with self._lock:
+            record = ReleaseRecord(
+                seq=self._seq,
+                analyst=analyst,
+                spec=spec,
+                timestamp=time.time(),
+            )
+            self._releases.append(record)
+            self._seq += 1
+            return record
+
+    @property
+    def releases(self) -> tuple[ReleaseRecord, ...]:
+        """Every noted synthetic release, in append order."""
+        with self._lock:
+            return tuple(self._releases)
 
     def __len__(self) -> int:
         return len(self._records)

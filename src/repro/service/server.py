@@ -34,6 +34,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.privacy.accounting import (
+    BasicAccountant,
+    BudgetExhausted,
+    ServiceAccountant,
+)
 from repro.privacy.kernels import MechanismSpec
 from repro.queries.mechanism import (
     BoundedNoiseAnswerer,
@@ -46,9 +51,9 @@ from repro.queries.mechanism import (
 )
 from repro.queries.query import SubsetQuery, _validate_binary
 from repro.queries.workload import Workload
-from repro.service.accountant import BasicAccountant, ServiceAccountant
 from repro.service.audit import AuditLog, ReconstructionAuditor
 from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.synth.binary import BinaryRelease, synthesize_binary
 from repro.utils.rng import RngSeed, derive_rng
 
 #: Mechanism spec -> factory(data, rng, **params).  "subsample" is the
@@ -109,6 +114,49 @@ def per_query_epsilon(answerer: QueryAnswerer) -> float:
     if spec is not None:
         return float(spec.spend.epsilon)
     return float(getattr(answerer, "epsilon_per_query", 0.0))
+
+
+@dataclass(frozen=True)
+class SyntheticFallback:
+    """Configuration of the server's synthetic-fallback mode.
+
+    When enabled, the first analyst to exhaust their interactive budget
+    triggers one MWEM release of the private vector
+    (:func:`repro.synth.binary.synthesize_binary`), billed to the
+    ``account`` pseudo-analyst at ``epsilon``.  From then on, budget-refused
+    queries are answered *exactly on the synthetic vector* — deterministic
+    post-processing of the one pre-paid release, at zero further epsilon —
+    instead of failing with :class:`~repro.privacy.accounting.
+    BudgetExhausted`.  The release's :class:`~repro.privacy.kernels.
+    MechanismSpec` is recorded in the audit log
+    (:meth:`~repro.service.audit.AuditLog.note_release`) and every fallback
+    answer is logged with ``source="synthetic"``.
+
+    Attributes:
+        epsilon: one-time budget of the synthetic release.
+        rounds: MWEM rounds for the fit.
+        num_queries: size of the random fitting workload (default ``4 n``).
+        density: per-position inclusion probability of the fitting workload.
+        account: pseudo-analyst the release's charge is booked under.
+    """
+
+    epsilon: float = 1.0
+    rounds: int = 10
+    num_queries: int | None = None
+    density: float = 0.5
+    account: str = "synthetic-release"
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {self.rounds}")
+        if self.num_queries is not None and self.num_queries <= 0:
+            raise ValueError(
+                f"num_queries must be positive when set, got {self.num_queries}"
+            )
+        if not 0.0 < self.density < 1.0:
+            raise ValueError(f"density must lie in (0, 1), got {self.density}")
 
 
 @dataclass
@@ -172,12 +220,15 @@ class QueryServer:
             ``(data, rng, **params) -> QueryAnswerer``.
         mechanism_params: forwarded to the mechanism factory.
         accountant: the privacy ledger; defaults to an unlimited
-            :class:`~repro.service.accountant.BasicAccountant`.
+            :class:`~repro.privacy.accounting.BasicAccountant`.
         auditor: an optional :class:`ReconstructionAuditor`; when set, every
             served request may trigger a replay pass and a tripped analyst
             is refused with ``CircuitBreakerTripped``.
         cache_entries: per-analyst cache capacity (``None`` = unbounded).
         seed: master seed; analyst noise streams derive from it by name.
+        synthetic_fallback: ``True`` or a :class:`SyntheticFallback` config
+            to answer budget-exhausted analysts from one pre-paid synthetic
+            release instead of refusing them.
     """
 
     def __init__(
@@ -189,6 +240,7 @@ class QueryServer:
         auditor: ReconstructionAuditor | None = None,
         cache_entries: int | None = None,
         seed: int = 0,
+        synthetic_fallback: SyntheticFallback | bool | None = None,
     ):
         array = np.asarray(data)
         self._data = _validate_binary(array, array.size)
@@ -199,6 +251,13 @@ class QueryServer:
         self.audit_log = AuditLog()
         self.cache_entries = cache_entries
         self.seed = seed
+        if synthetic_fallback is True:
+            synthetic_fallback = SyntheticFallback()
+        elif synthetic_fallback is False:
+            synthetic_fallback = None
+        self.synthetic_fallback: SyntheticFallback | None = synthetic_fallback
+        self._fallback_release: BinaryRelease | None = None
+        self._fallback_lock = threading.Lock()
         self._states: dict[str, _AnalystState] = {}
         self._states_lock = threading.Lock()
 
@@ -222,6 +281,42 @@ class QueryServer:
         """The named analyst's :class:`MechanismSpec` (None for duck-typed
         answerers that declare no spec)."""
         return self._state(analyst).spec
+
+    @property
+    def fallback_release(self) -> BinaryRelease | None:
+        """The synthetic release, if it has been synthesized yet."""
+        with self._fallback_lock:
+            return self._fallback_release
+
+    def _fallback(self) -> BinaryRelease:
+        """The pre-paid synthetic release, synthesized once on first need.
+
+        The one-time charge is booked under the configured pseudo-analyst
+        *before* sampling (raising :class:`BudgetExhausted` if even that is
+        refused), the noise stream derives from the server seed — so the
+        release, and every answer computed on it, is bit-deterministic for
+        a fixed seed — and the release's spec goes into the audit log.
+        """
+        config = self.synthetic_fallback
+        assert config is not None
+        with self._fallback_lock:
+            if self._fallback_release is None:
+                self.accountant.charge(config.account, 1, config.epsilon)
+                try:
+                    release = synthesize_binary(
+                        self._data,
+                        config.epsilon,
+                        config.rounds,
+                        num_queries=config.num_queries,
+                        density=config.density,
+                        rng=derive_rng(self.seed, "service", config.account),
+                    )
+                except BaseException:
+                    self.accountant.refund(config.account, 1, config.epsilon)
+                    raise
+                self.audit_log.note_release(config.account, release.spec)
+                self._fallback_release = release
+            return self._fallback_release
 
     def _state(self, analyst: str) -> _AnalystState:
         with self._states_lock:
@@ -259,7 +354,27 @@ class QueryServer:
                 )
                 return cached
             epsilon = state.epsilon_per_query
-            self.accountant.charge(analyst, 1, epsilon)
+            try:
+                self.accountant.charge(analyst, 1, epsilon)
+            except BudgetExhausted:
+                if self.synthetic_fallback is None:
+                    raise
+                # Serve exactly from the pre-paid release: post-processing,
+                # zero further epsilon.  Synthetic answers stay out of the
+                # cache so every one is logged with its true source.
+                answer = float(self._fallback().answer(query.mask))
+                self.audit_log.append(
+                    analyst,
+                    fingerprint,
+                    query.mask,
+                    answer,
+                    False,
+                    0.0,
+                    source="synthetic",
+                )
+                if self.auditor is not None:
+                    self.auditor.maybe_audit(self.audit_log, analyst)
+                return answer
             answer = state.answerer.answer(query)
             state.cache.put(fingerprint, answer)
             self.audit_log.append(analyst, fingerprint, query.mask, answer, False, epsilon)
@@ -300,14 +415,25 @@ class QueryServer:
                 for fingerprint, hit in zip(fingerprints, looked_up)
                 if hit is not None
             }
+            synthetic = False
             if miss_rows:
-                # May raise BudgetExhausted: all-or-nothing, nothing served.
-                self.accountant.charge(analyst, len(miss_rows), epsilon)
                 sub_workload = Workload(workload.masks[miss_rows], copy=False)
-                fresh = state.answerer.answer_workload(sub_workload)
-                for fingerprint, answer in zip(miss_fps, fresh):
-                    state.cache.put(fingerprint, answer)
-                    answer_by_fp[fingerprint] = float(answer)
+                try:
+                    # May raise BudgetExhausted: all-or-nothing, and without
+                    # a fallback nothing is served.
+                    self.accountant.charge(analyst, len(miss_rows), epsilon)
+                except BudgetExhausted:
+                    if self.synthetic_fallback is None:
+                        raise
+                    synthetic = True
+                    fresh = self._fallback().answer_workload(sub_workload)
+                    for fingerprint, answer in zip(miss_fps, fresh):
+                        answer_by_fp[fingerprint] = float(answer)
+                else:
+                    fresh = state.answerer.answer_workload(sub_workload)
+                    for fingerprint, answer in zip(miss_fps, fresh):
+                        state.cache.put(fingerprint, answer)
+                        answer_by_fp[fingerprint] = float(answer)
             answers = np.array(
                 [answer_by_fp[fingerprint] for fingerprint in fingerprints],
                 dtype=np.float64,
@@ -322,7 +448,8 @@ class QueryServer:
                     masks[row],
                     answers[row],
                     not is_fresh,
-                    epsilon if is_fresh else 0.0,
+                    epsilon if is_fresh and not synthetic else 0.0,
+                    source="synthetic" if is_fresh and synthetic else "mechanism",
                 )
             if self.auditor is not None:
                 self.auditor.maybe_audit(self.audit_log, analyst)

@@ -1,0 +1,54 @@
+"""Synthetic-data release — publishing, not just answering.
+
+The interactive stack (PR 3/4) answers queries under a budget; this
+subsystem *publishes* whole datasets under one pre-paid budget and then
+turns the repo's own attack suite on the result::
+
+    repro.synth.domain        CellDomain (dataset <-> histogram), integerize
+        |
+    repro.synth.base          Synthesizer ABC + SyntheticRelease
+        |                     (MechanismSpec identity, accountant charging)
+        +-- mwem              MWEM over a batched Workload (DP)
+        +-- hierarchical      TopDown-style two-level geometric noise + LP
+        +-- independent       naive marginals baseline (not DP)
+        +-- binary            MWEM on {0,1}^n, the QueryServer fallback
+        |
+    repro.synth.evaluation    E4 uniqueness / E5 linkage / E7 reconstruction
+                              re-run against the release + workload error
+
+Every generator draws noise exclusively through
+:mod:`repro.privacy.kernels`, charges its whole spend through a
+:class:`~repro.privacy.accounting.PrivacyAccountant` before sampling, and
+stamps its release with the auditable
+:class:`~repro.privacy.kernels.MechanismSpec`.  Experiment E19 runs the
+full publish-then-attack loop.
+"""
+
+from repro.synth.base import SyntheticRelease, Synthesizer
+from repro.synth.binary import BinaryRelease, synthesize_binary
+from repro.synth.domain import CellDomain, integerize
+from repro.synth.evaluation import (
+    SyntheticEvaluation,
+    baseline_linkage,
+    evaluate_release,
+)
+from repro.synth.hierarchical import HierarchicalSynthesizer
+from repro.synth.independent import IndependentSynthesizer
+from repro.synth.mwem import MWEMSynthesizer, run_mwem, workload_error
+
+__all__ = [
+    "BinaryRelease",
+    "CellDomain",
+    "HierarchicalSynthesizer",
+    "IndependentSynthesizer",
+    "MWEMSynthesizer",
+    "SyntheticEvaluation",
+    "SyntheticRelease",
+    "Synthesizer",
+    "baseline_linkage",
+    "evaluate_release",
+    "integerize",
+    "run_mwem",
+    "synthesize_binary",
+    "workload_error",
+]

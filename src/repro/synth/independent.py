@@ -1,0 +1,98 @@
+"""The naive baseline: independent resampling of attribute marginals.
+
+This is the kind of ad-hoc "anonymized extract" the paper's Diffix and
+swapping discussions warn about: each attribute is resampled from its
+empirical marginal (optionally within groups such as census blocks), so
+every one-way marginal is approximately preserved — and so is every
+uniqueness pattern those marginals induce.  No noise is added and nothing
+is charged to an accountant; the release's :class:`~repro.privacy.kernels.
+MechanismSpec` says so explicitly (``dp=False``, :class:`~repro.privacy.
+kernels.ZeroKernel`).  :mod:`repro.synth.evaluation` (experiment E19)
+shows the consequence: linkage re-identification still succeeds against
+this baseline while the DP generators drive it to chance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.privacy.accounting import PrivacySpend
+from repro.privacy.kernels import MechanismSpec, ZeroKernel
+from repro.synth.base import SyntheticRelease, Synthesizer
+
+__all__ = ["IndependentSynthesizer"]
+
+
+class IndependentSynthesizer(Synthesizer):
+    """Resample each attribute independently from its empirical marginal.
+
+    Args:
+        attributes: the attributes to resample; defaults to every attribute
+            not used for grouping.
+        group_by: optional attributes defining strata (e.g. ``("block",)``)
+            — marginals are estimated and resampled within each stratum,
+            which preserves strictly *more* structure (and leaks more).
+    """
+
+    name = "independent"
+
+    def __init__(
+        self,
+        attributes: Sequence[str] | None = None,
+        group_by: Sequence[str] | None = None,
+    ):
+        self.attributes = tuple(attributes) if attributes is not None else None
+        self.group_by = tuple(group_by) if group_by is not None else ()
+        if self.attributes is not None:
+            overlap = set(self.attributes) & set(self.group_by)
+            if overlap:
+                raise ValueError(
+                    f"attributes {sorted(overlap)} cannot be both resampled "
+                    "and grouped on"
+                )
+
+    @property
+    def spec(self) -> MechanismSpec:
+        return MechanismSpec(
+            name="independent-marginals",
+            kernel=ZeroKernel(),
+            spend=PrivacySpend(0.0, label="independent"),
+            sensitivity=1.0,
+            dp=False,
+        )
+
+    def _synthesize(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> SyntheticRelease:
+        attributes = self.attributes
+        if attributes is None:
+            attributes = tuple(
+                name for name in dataset.schema.names if name not in self.group_by
+            )
+        names = tuple(self.group_by) + tuple(attributes)
+        schema = dataset.schema.project(names)
+
+        if self.group_by:
+            groups = dataset.group_by(self.group_by)
+            group_items = sorted(groups.items())
+        else:
+            group_items = [((), list(range(len(dataset))))]
+
+        columns = {name: dataset.column(name) for name in attributes}
+        records: list[tuple] = []
+        for key, row_indices in group_items:
+            size = len(row_indices)
+            resampled = []
+            for name in attributes:
+                column = columns[name]
+                draws = rng.integers(0, size, size=size)
+                resampled.append([column[row_indices[int(i)]] for i in draws])
+            for row in zip(*resampled):
+                records.append(tuple(key) + tuple(row))
+        return SyntheticRelease(
+            data=Dataset(schema, records, validate=False),
+            spec=self.spec,
+        )

@@ -1,13 +1,25 @@
 """Tests for the privacy accountant and composition bounds."""
 
+import importlib
+
 import pytest
 
-from repro.dp.composition import (
+from repro.privacy.accounting import (
     PrivacyAccountant,
     PrivacySpend,
     advanced_composition,
     basic_composition,
 )
+
+
+class TestDeprecatedShim:
+    def test_import_warns_and_reexports(self):
+        with pytest.warns(DeprecationWarning, match="repro.dp.composition"):
+            import repro.dp.composition as shim
+
+            shim = importlib.reload(shim)
+        assert shim.PrivacyAccountant is PrivacyAccountant
+        assert shim.PrivacySpend is PrivacySpend
 
 
 class TestBasicComposition:

@@ -115,6 +115,19 @@ class TestExtensionExperiments:
         assert result.headline["dashboard_cache_hit_rate"] >= 0.9
         assert result.headline["dashboard_replay_drift"] == 0.0
 
+    def test_e19_synthetic_release(self):
+        result = run_experiment("E19", quick=True)
+        # DP synthesis defeats the linkage attack the raw data loses to...
+        assert result.headline["mwem_eps1_reidentified_rate"] <= 0.05
+        assert result.headline["baseline_reidentified_rate"] >= 0.5
+        assert result.headline["mwem_defeats_linkage"] is True
+        # ...the no-noise marginals baseline still leaks...
+        assert result.headline["independent_leaks"] is True
+        # ...and utility buys budget across the epsilon sweep.
+        assert result.headline["error_monotone"] is True
+        assert result.headline["epsilon_charged"] == pytest.approx(12.1)
+        assert result.figures
+
 
 class TestFigures:
     def test_e3_and_e8_carry_figures(self):

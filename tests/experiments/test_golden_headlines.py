@@ -3,7 +3,9 @@
 E11 (DP verification + PSO under DP) and E18 (service audit) route every
 noise draw and every accountant charge through ``repro.privacy``; their
 quick-mode seed-0 headlines below were recorded pre-refactor and must stay
-bit-identical (hex-float comparison, no tolerance).
+bit-identical (hex-float comparison, no tolerance).  E19 (synthetic-data
+release) is pinned the same way so any drift in the synthesis stack is a
+deliberate, reviewed change.
 """
 
 import pytest
@@ -17,6 +19,20 @@ def test_e11_quick_headline_bit_identical():
     headline = run_experiment("E11", seed=0, quick=True).headline
     assert float(headline["attack_success_exact_counts"]).hex() == "0x1.47ae147ae147bp-1"
     assert float(headline["attack_success_dp_eps2"]).hex() == "0x0.0p+0"
+
+
+def test_e19_quick_headline_bit_identical():
+    headline = run_experiment("E19", seed=0, quick=True).headline
+    assert headline["mwem_defeats_linkage"] is True
+    assert headline["independent_leaks"] is True
+    assert headline["error_monotone"] is True
+    assert float(headline["baseline_reidentified_rate"]).hex() == "0x1.7df7df7df7df8p-1"
+    assert float(headline["mwem_eps1_reidentified_rate"]).hex() == "0x0.0p+0"
+    assert float(headline["independent_reidentified_rate"]).hex() == "0x1.0410410410410p-5"
+    assert float(headline["mwem_error_eps01"]).hex() == "0x1.578022acd5780p-4"
+    assert float(headline["mwem_error_eps1"]).hex() == "0x1.689f1279b0239p-5"
+    assert float(headline["mwem_error_eps10"]).hex() == "0x1.5826937a48b59p-5"
+    assert float(headline["epsilon_charged"]).hex() == "0x1.8333333333333p+3"
 
 
 def test_e18_quick_headline_bit_identical():

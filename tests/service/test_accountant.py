@@ -1,9 +1,38 @@
 """Accountant semantics: composition rules, budgets, all-or-nothing charges."""
 
+import importlib
+
 import pytest
 
-from repro.dp.composition import advanced_composition
+from repro.privacy.accounting import advanced_composition
 from repro.service import AdvancedAccountant, BasicAccountant, BudgetExhausted
+
+
+class TestDeprecatedShim:
+    def test_import_warns_and_reexports(self):
+        with pytest.warns(DeprecationWarning, match="repro.service.accountant"):
+            import repro.service.accountant as shim
+
+            shim = importlib.reload(shim)
+        assert shim.BasicAccountant is BasicAccountant
+        assert shim.BudgetExhausted is BudgetExhausted
+
+
+class TestRefund:
+    def test_refund_reverses_charge(self):
+        accountant = BasicAccountant(per_analyst_epsilon=1.0)
+        accountant.charge("a", 2, 0.5)
+        accountant.refund("a", 2, 0.5)
+        assert accountant.analyst_epsilon("a") == pytest.approx(0.0)
+        assert accountant.analyst_queries("a") == 0
+        assert accountant.global_spent() == pytest.approx(0.0)
+        # The budget is whole again.
+        accountant.charge("a", 2, 0.5)
+
+    def test_refund_unknown_analyst_refused(self):
+        accountant = BasicAccountant()
+        with pytest.raises(ValueError):
+            accountant.refund("ghost", 1, 0.5)
 
 
 class TestBasicAccountant:

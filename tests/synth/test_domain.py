@@ -1,0 +1,89 @@
+"""Cell-domain encoding: the histogram view every synthesizer shares."""
+
+import numpy as np
+import pytest
+
+from repro.data.censusblocks import CensusConfig, generate_census
+from repro.synth.domain import MAX_CELLS, CellDomain, integerize
+from repro.utils.rng import derive_rng
+
+ATTRIBUTES = ("block", "sex", "age", "race", "ethnicity")
+
+
+def _census():
+    config = CensusConfig(blocks=4, mean_block_size=6, max_block_size=10, age_range=(0, 19))
+    return generate_census(config, rng=derive_rng(0, "census"))
+
+
+class TestCellDomain:
+    def test_from_dataset_excludes_only_requested_attributes(self):
+        census = _census()
+        domain = CellDomain.from_dataset(census, ATTRIBUTES)
+        assert domain.names == ATTRIBUTES
+        assert "person_id" not in domain.names
+        assert domain.size == 4 * 2 * 20 * 4 * 2
+
+    def test_index_cell_round_trip(self):
+        domain = CellDomain.from_dataset(_census(), ATTRIBUTES)
+        for index in (0, 1, 17, domain.size // 2, domain.size - 1):
+            assert domain.index_of(domain.cell(index)) == index
+
+    def test_encode_decode_round_trip(self):
+        census = _census()
+        domain = CellDomain.from_dataset(census, ATTRIBUTES)
+        histogram = domain.encode(census)
+        assert histogram.sum() == len(census)
+        synthetic = domain.to_dataset(histogram)
+        assert np.array_equal(domain.encode(synthetic), histogram)
+
+    def test_unknown_value_rejected(self):
+        domain = CellDomain(("bit",), ((0, 1),))
+        with pytest.raises(ValueError, match="not a level"):
+            domain.index_of((2,))
+
+    def test_most_significant_attribute_first(self):
+        domain = CellDomain(("hi", "lo"), ((0, 1), ("a", "b", "c")))
+        assert domain.index_of((1, "a")) == 3
+        assert domain.cell(5) == (1, "c")
+
+    def test_cell_cap_enforced(self):
+        with pytest.raises(ValueError, match="cells"):
+            CellDomain(("a", "b"), (tuple(range(2000)), tuple(range(1001))))
+        assert 2000 * 1001 > MAX_CELLS
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CellDomain(("a",), ((1, 1),))
+
+    def test_to_dataset_needs_schema(self):
+        domain = CellDomain(("bit",), ((0, 1),))
+        with pytest.raises(ValueError, match="schema"):
+            domain.to_dataset(np.array([1, 1]))
+
+
+class TestIntegerize:
+    def test_preserves_total(self):
+        rng = derive_rng(3, "weights")
+        weights = rng.random(40)
+        for total in (0, 1, 7, 100):
+            rounded = integerize(weights, total)
+            assert rounded.sum() == total
+            assert np.all(rounded >= 0)
+
+    def test_exact_integers_pass_through(self):
+        weights = np.array([2.0, 0.0, 5.0, 3.0])
+        assert np.array_equal(integerize(weights, 10), [2, 0, 5, 3])
+
+    def test_largest_remainder_gets_leftover(self):
+        # 10 * [0.25, 0.45, 0.30] = [2.5, 4.5, 3.0]: floors [2, 4, 3] leave
+        # one unit for the tied .5 remainders; the lower index wins.
+        rounded = integerize(np.array([0.25, 0.45, 0.30]), 10)
+        assert np.array_equal(rounded, [3, 4, 3])
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            integerize(np.array([-0.1, 1.0]), 5)
+        with pytest.raises(ValueError):
+            integerize(np.array([1.0]), -1)
+        with pytest.raises(ValueError):
+            integerize(np.zeros(3), 5)

@@ -1,0 +1,98 @@
+"""Attack-side scoring of synthetic releases (the E19 machinery)."""
+
+import pytest
+
+from repro.data.censusblocks import CensusConfig, commercial_database, generate_census
+from repro.queries.workload import Workload
+from repro.synth import (
+    CellDomain,
+    IndependentSynthesizer,
+    MWEMSynthesizer,
+    baseline_linkage,
+    evaluate_release,
+)
+from repro.synth.evaluation import census_records
+from repro.utils.rng import derive_rng
+
+ATTRIBUTES = ("block", "sex", "age", "race", "ethnicity")
+
+
+@pytest.fixture(scope="module")
+def town():
+    config = CensusConfig(blocks=4, mean_block_size=6, max_block_size=10, age_range=(0, 19))
+    census = generate_census(config, rng=derive_rng(0, "census"))
+    commercial = commercial_database(
+        census, coverage=0.9, age_error=1, rng=derive_rng(0, "comm")
+    )
+    return census, commercial
+
+
+class TestCensusRecords:
+    def test_row_order_and_types(self, town):
+        census, _ = town
+        records = census_records(census)
+        assert len(records) == len(census)
+        block, sex, age, race, ethnicity = records[0]
+        assert isinstance(block, int)
+        assert isinstance(age, int)
+
+    def test_missing_attribute_rejected(self, town):
+        census, _ = town
+        projected = census.project(("block", "sex"))
+        with pytest.raises(ValueError, match="missing census attribute"):
+            census_records(projected)
+
+
+class TestBaselineLinkage:
+    def test_raw_release_links_most_of_the_town(self, town):
+        census, commercial = town
+        result = baseline_linkage(census, commercial)
+        assert result.population == len(census)
+        assert result.confirmed > 0
+        assert result.confirmed <= result.attempted <= len(census)
+
+
+class TestEvaluateRelease:
+    def test_full_evaluation_of_a_dp_release(self, town):
+        census, commercial = town
+        domain = CellDomain.from_dataset(census, ATTRIBUTES)
+        workload = Workload.random(domain.size, 25, density=0.1, rng=derive_rng(0, "wl"))
+        release = MWEMSynthesizer(workload, 1.0, rounds=5, domain=domain).synthesize(
+            census, rng=derive_rng(0, "mwem")
+        )
+        evaluation = evaluate_release(
+            release, census, commercial, workload=workload, domain=domain
+        )
+        assert evaluation.records == len(census)
+        assert evaluation.epsilon == 1.0
+        assert evaluation.linkage.population == len(census)
+        assert evaluation.workload_error is not None
+        assert evaluation.workload_error >= 0.0
+        assert evaluation.reconstruction is not None
+        assert evaluation.reconstruction_linkage is not None
+        assert set(evaluation.uniqueness) == {
+            ("block", "sex", "age"),
+            ("block", "sex", "age", "race", "ethnicity"),
+        }
+
+    def test_reconstruction_can_be_skipped(self, town):
+        census, commercial = town
+        release = IndependentSynthesizer(group_by=("block",)).synthesize(
+            census, rng=derive_rng(1, "ind")
+        )
+        evaluation = evaluate_release(release, census, commercial, reconstruct=False)
+        assert evaluation.reconstruction is None
+        assert evaluation.reconstruction_linkage is None
+        assert evaluation.workload_error is None
+
+    def test_workload_without_domain_rejected(self, town):
+        census, commercial = town
+        release = IndependentSynthesizer(group_by=("block",)).synthesize(
+            census, rng=derive_rng(2, "ind")
+        )
+        workload = Workload.random(10, 5, rng=derive_rng(0, "wl"))
+        assert release.domain is None
+        with pytest.raises(ValueError, match="domain"):
+            evaluate_release(
+                release, census, commercial, workload=workload, reconstruct=False
+            )

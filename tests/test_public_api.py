@@ -44,6 +44,7 @@ class TestTopLevelExports:
             "repro.lm",
             "repro.ml",
             "repro.service",
+            "repro.synth",
             "repro.experiments",
         ):
             module = importlib.import_module(name)
@@ -64,6 +65,7 @@ class TestTopLevelExports:
             "repro.legal",
             "repro.reconstruction",
             "repro.service",
+            "repro.synth",
         ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):
