@@ -237,7 +237,7 @@ def guard_against_baselines(single: dict, repo_root: Path, seed: int) -> list[st
                 )
 
     reconstruction = _load_baseline(repo_root / "BENCH_reconstruction.json")
-    if reconstruction and reconstruction.get("answering"):
+    if reconstruction and not reconstruction.get("smoke") and reconstruction.get("answering"):
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         try:
             from bench_lp_reconstruction import bench_answering

@@ -2,7 +2,7 @@
 
 The paper is a keynote without measurement tables, so its "evaluation" is
 the set of quantitative claims indexed in DESIGN.md (Section 5), extended
-by the later subsystem experiments (E13-E19).
+by the later subsystem experiments (E13-E20).
 Each module here regenerates one claim end to end — workload, attack,
 baseline, and a paper-vs-measured table — and the benchmark suite under
 ``benchmarks/`` wraps each with pytest-benchmark.
@@ -46,6 +46,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration imports)
     e17_graph_deanonymization,
     e18_service_audit,
     e19_synthetic_release,
+    e20_sharded_reconstruction,
 )
 
 __all__ = [

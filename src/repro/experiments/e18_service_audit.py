@@ -50,6 +50,10 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         audit_every=n // 8,
         min_queries=n // 4,
         alpha=None,  # Laplace noise is unbounded: replay with least-l1.
+        # Screen passes with the first-order decoder; any pass within the
+        # margin of the trip bar is re-decided by the exact LP replay, so
+        # verdicts (and the agreement at trip) match the pure-LP auditor.
+        screen="l2",
     )
     # Budget generous enough that the auditor, not the ledger, is the
     # binding defense (basic composition would allow ~4x more queries).

@@ -33,23 +33,64 @@ class Workload:
     * :meth:`matrix` exposes dense views in any dtype plus a cached
       :class:`scipy.sparse.csr_matrix` for the LP solver, so feasibility and
       least-l1 decoding reuse one assembled matrix;
+    * :meth:`select_columns` / :meth:`select_rows` slice the workload by
+      operating on the cached CSR view directly, so the sharded
+      reconstruction pipeline never re-packs (or even materializes) a dense
+      mask matrix per shard;
     * indexing/iteration recovers per-query :class:`SubsetQuery` objects for
       code that still wants the one-at-a-time interface.
+
+    A workload is either *mask-backed* (built from a dense boolean matrix,
+    the common case) or *CSR-backed* (built by :meth:`from_csr` or the
+    slicing methods); either representation materializes the other lazily
+    and caches it, so hot paths pay only for the view they touch.
     """
 
-    __slots__ = ("_masks", "_csr")
+    __slots__ = ("_masks", "_csr", "_shape")
 
     def __init__(self, masks: np.ndarray | Sequence[Sequence[bool]], copy: bool = True):
         array = np.array(masks, dtype=bool, copy=copy)
         if array.ndim != 2:
             raise ValueError(f"a workload must be a 2-D mask matrix, got ndim={array.ndim}")
-        if array.shape[0] == 0:
-            raise ValueError("a workload needs at least one query")
-        if array.shape[1] == 0:
-            raise ValueError("a workload must address at least one position")
-        self._masks = array
-        self._masks.setflags(write=False)
+        self._check_shape(array.shape)
+        array.setflags(write=False)
+        self._masks: np.ndarray | None = array
         self._csr: scipy.sparse.csr_matrix | None = None
+        self._shape = array.shape
+
+    @staticmethod
+    def _check_shape(shape: tuple[int, int]) -> None:
+        if shape[0] == 0:
+            raise ValueError("a workload needs at least one query")
+        if shape[1] == 0:
+            raise ValueError("a workload must address at least one position")
+
+    @classmethod
+    def from_csr(cls, matrix: scipy.sparse.spmatrix, copy: bool = True) -> "Workload":
+        """Build a workload directly from a sparse 0/1 matrix.
+
+        The CSR (float64, the dtype the LP solver consumes) becomes the
+        cached assembly immediately; the dense boolean mask matrix is only
+        materialized if something asks for it.  This is how census-scale
+        block-diagonal workloads are built without ever holding an
+        ``(m, n)`` dense matrix in memory.
+        """
+        csr = scipy.sparse.csr_matrix(matrix, dtype=np.float64, copy=copy)
+        cls._check_shape(csr.shape)
+        instance = cls.__new__(cls)
+        instance._masks = None
+        instance._csr = csr
+        instance._shape = (int(csr.shape[0]), int(csr.shape[1]))
+        return instance
+
+    @property
+    def _mask_view(self) -> np.ndarray:
+        """The dense boolean masks, materialized from the CSR on demand."""
+        if self._masks is None:
+            masks = self._csr.toarray().astype(bool)
+            masks.setflags(write=False)
+            self._masks = masks
+        return self._masks
 
     @classmethod
     def from_queries(cls, queries: Sequence[SubsetQuery]) -> "Workload":
@@ -119,17 +160,17 @@ class Workload:
     @property
     def m(self) -> int:
         """Number of queries in the workload."""
-        return int(self._masks.shape[0])
+        return int(self._shape[0])
 
     @property
     def n(self) -> int:
         """The dataset size every query addresses."""
-        return int(self._masks.shape[1])
+        return int(self._shape[1])
 
     @property
     def masks(self) -> np.ndarray:
         """The packed ``(m, n)`` boolean mask matrix (read-only)."""
-        return self._masks
+        return self._mask_view
 
     def matrix(self, dtype: np.dtype | type = np.float64, sparse: bool = False):
         """The workload as an ``(m, n)`` matrix.
@@ -140,11 +181,32 @@ class Workload:
         """
         if sparse:
             if self._csr is None:
-                self._csr = scipy.sparse.csr_matrix(self._masks, dtype=np.float64)
+                self._csr = scipy.sparse.csr_matrix(self._mask_view, dtype=np.float64)
             if np.dtype(dtype) == np.float64:
                 return self._csr
             return self._csr.astype(dtype)
-        return np.asarray(self._masks, dtype=dtype)
+        return np.asarray(self._mask_view, dtype=dtype)
+
+    def select_columns(self, idx: np.ndarray | Sequence[int]) -> "Workload":
+        """The same ``m`` queries restricted to positions ``idx``.
+
+        The slice is taken on the cached CSR assembly (assembling it on
+        first use), not by re-packing the dense boolean mask matrix, so
+        carving a per-block subproblem out of a census-scale workload costs
+        O(nnz of the slice) instead of O(m * n).  The sliced workload is
+        CSR-backed: its own dense masks only materialize if asked for.
+        """
+        idx = np.asarray(idx, dtype=np.intp)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ValueError("idx must be a non-empty 1-D index array")
+        return Workload.from_csr(self.matrix(sparse=True)[:, idx], copy=False)
+
+    def select_rows(self, idx: np.ndarray | Sequence[int]) -> "Workload":
+        """The sub-workload of queries ``idx``, sliced on the cached CSR."""
+        idx = np.asarray(idx, dtype=np.intp)
+        if idx.ndim != 1 or idx.size == 0:
+            raise ValueError("idx must be a non-empty 1-D index array")
+        return Workload.from_csr(self.matrix(sparse=True)[idx], copy=False)
 
     def true_answers(self, data: np.ndarray, validate: bool = True) -> np.ndarray:
         """All ``m`` exact answers ``A @ x`` on binary data ``x``, as int64.
@@ -167,7 +229,7 @@ class Workload:
 
     def query(self, index: int) -> SubsetQuery:
         """Query ``index`` as a standalone :class:`SubsetQuery`."""
-        return SubsetQuery(self._masks[index])
+        return SubsetQuery(self._mask_view[index])
 
     def __len__(self) -> int:
         return self.m
@@ -176,7 +238,7 @@ class Workload:
         return self.query(index)
 
     def __iter__(self) -> Iterator[SubsetQuery]:
-        for row in self._masks:
+        for row in self._mask_view:
             yield SubsetQuery(row)
 
     def __repr__(self) -> str:

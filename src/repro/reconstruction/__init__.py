@@ -12,6 +12,11 @@ person-level records.
   (all ``2^n`` queries, noise up to ``c*n``).
 * :mod:`repro.reconstruction.lp_decode` — the polynomial attack (LP
   decoding of ``O(n)`` random queries, noise up to ``c'*sqrt(n)``).
+* :mod:`repro.reconstruction.l2_decode` — the first-order least-squares
+  fast path (KRS-style projection + rounding; no LP).
+* :mod:`repro.reconstruction.sharding` — census-scale decomposition into
+  per-block shards: l2 by default, per-shard LP escalation, parallel
+  dispatch, deterministic join.
 * :mod:`repro.reconstruction.tabulation` — the census-style table system
   published per block.
 * :mod:`repro.reconstruction.census_solver` — inverting the tables back
@@ -24,8 +29,21 @@ from repro.reconstruction.dinur_nissim import (
 )
 from repro.reconstruction.lp_decode import (
     LpReconstructionResult,
+    LpSolverOptions,
     lp_reconstruction,
+    reconstruct_from_answers,
     solve_least_l1,
+)
+from repro.reconstruction.l2_decode import (
+    L2ReconstructionResult,
+    l2_decode,
+    l2_decode_batch,
+)
+from repro.reconstruction.sharding import (
+    BlockPartition,
+    ShardedReconstructionResult,
+    ShardedReconstructor,
+    ShardReport,
 )
 from repro.reconstruction.tabulation import BlockTables, tabulate_blocks
 from repro.reconstruction.census_solver import (
@@ -36,13 +54,22 @@ from repro.reconstruction.census_solver import (
 )
 
 __all__ = [
+    "BlockPartition",
     "BlockTables",
     "CensusReconstructionResult",
     "ExhaustiveReconstructionResult",
+    "L2ReconstructionResult",
     "LpReconstructionResult",
+    "LpSolverOptions",
+    "ShardReport",
+    "ShardedReconstructionResult",
+    "ShardedReconstructor",
     "exhaustive_reconstruction",
+    "l2_decode",
+    "l2_decode_batch",
     "lp_reconstruction",
     "reconstruct_census",
+    "reconstruct_from_answers",
     "reidentify",
     "reidentify_records",
     "solve_least_l1",

@@ -32,6 +32,7 @@ from scipy.optimize import LinearConstraint, milp
 from repro.data.censusblocks import ETHNICITIES, RACES, SEXES
 from repro.data.dataset import Dataset
 from repro.reconstruction.tabulation import BlockTables
+from repro.utils.parallel import parallel_map
 
 #: A reconstructed person: (block, sex, age, race, ethnicity).
 ReconstructedRecord = tuple[int, str, int, str, str]
@@ -90,6 +91,8 @@ class CensusReconstructionResult:
 def reconstruct_census(
     tables: dict[int, BlockTables],
     truth: Dataset | None = None,
+    jobs: int | None = 1,
+    backend: str = "auto",
 ) -> CensusReconstructionResult:
     """Reconstruct person-level records from published block tables.
 
@@ -98,6 +101,12 @@ def reconstruct_census(
             :func:`repro.reconstruction.tabulation.tabulate_blocks`).
         truth: the original microdata, used only for scoring
             ``exact_matches``; pass ``None`` to skip scoring (all zeros).
+        jobs: worker count for the per-block integer solves.  Blocks are
+            independent (the defining property of the attack), so they
+            dispatch through :func:`repro.utils.parallel.parallel_map`
+            weighted by block population; results join in block order, so
+            the output is identical for every ``jobs`` setting.
+        backend: parallel backend name (see :mod:`repro.utils.parallel`).
 
     Returns:
         Reconstruction of every block, with per-block exactness scores.
@@ -114,9 +123,17 @@ def reconstruct_census(
             )
             truth_by_block.setdefault(key[0], Counter())[key] += 1
 
+    ordered = sorted(tables.items())
+    solutions = parallel_map(
+        lambda item: _reconstruct_block(item[1]),
+        ordered,
+        jobs=jobs,
+        backend=backend,
+        weights=[block_tables.total for _, block_tables in ordered],
+    )
+
     blocks = []
-    for block_id, block_tables in sorted(tables.items()):
-        records, solved = _reconstruct_block(block_tables)
+    for (block_id, _), (records, solved) in zip(ordered, solutions):
         exact = 0
         if truth is not None:
             reconstructed_counter = Counter(records)

@@ -1,0 +1,315 @@
+"""First-order least-squares decoding — the KRS fast path.
+
+*The Power of Linear Reconstruction Attacks* (Kasiviswanathan–Rudelson–
+Smith) showed that the LP in the Dinur–Nissim attack is not load-bearing:
+an attacker who simply *projects* the noisy answers back onto the data
+domain — a regularized least-squares solve followed by rounding — already
+reconstructs in the same noise regime, for a tiny fraction of the cost.
+This module implements that decoder as the default fast path of the
+reconstruction stack:
+
+* :func:`l2_decode` minimizes ``0.5 * ||A z - a||^2`` (plus an optional
+  ridge term pulling toward the uninformative center ``1/2``) over the box
+  ``[0, 1]^n`` with FISTA (accelerated projected gradient).  Every
+  iteration is two sparse matvecs, so the cost is ``O(iters * nnz)`` —
+  no simplex pivots, no interior-point factorizations.
+* When the answers carry a worst-case error bound ``alpha``, the rounded
+  candidate is checked against the *feasibility certificate*
+  ``max |A x~ - a| <= alpha`` — the exact condition the feasibility LP
+  enforces.  A candidate that passes is a valid LP solution outright,
+  which is what lets the sharded pipeline skip the LP entirely on most
+  blocks and escalate (warm-started with the fractional iterate) only
+  when the certificate fails.
+* :func:`l2_decode_batch` runs the same iteration simultaneously over a
+  stack of equal-shape dense subproblems — the census regime, where tens
+  of thousands of small per-block systems decode as a handful of batched
+  einsums instead of tens of thousands of Python calls.
+
+Determinism: the iteration starts from the fixed center point, the step
+size comes from a deterministic norm bound by default (``lipschitz="auto"``;
+``"power"`` runs a power iteration whose start vector is drawn from ``rng``,
+so results are bit-deterministic given a seed either way), and each block
+in a batch is computed independently of the others — so batching, chunking,
+and ``jobs`` settings can never change a single output bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse
+
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.utils.rng import RngSeed, ensure_rng
+
+#: Default FISTA iteration cap.  Sparse matvecs are cheap; the certificate
+#: check usually exits long before this.
+DEFAULT_MAX_ITERS = 2000
+
+#: How often (in iterations) to test the rounded candidate's certificate.
+DEFAULT_CHECK_EVERY = 25
+
+#: Default early-stop tolerance on the sup-norm iterate change.
+DEFAULT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class L2ReconstructionResult:
+    """Outcome of the first-order least-squares decoding attack.
+
+    Attributes:
+        reconstruction: the rounded candidate ``x~ in {0,1}^n``.
+        fractional: the box-constrained least-squares iterate before
+            rounding (the warm start handed to an escalated LP).
+        queries_used: number of constraints decoded.
+        iterations: FISTA iterations actually run.
+        max_residual: ``max |A x~ - a|`` of the *rounded* candidate.
+        mean_residual: mean absolute residual of the rounded candidate.
+        certified: whether the rounded candidate passed the feasibility
+            certificate ``max_residual <= alpha`` (always ``False`` when no
+            finite ``alpha`` was supplied — there is nothing to certify).
+        alpha: the error bound tested against (``nan`` when none).
+    """
+
+    reconstruction: np.ndarray
+    fractional: np.ndarray
+    queries_used: int
+    iterations: int
+    max_residual: float
+    mean_residual: float
+    certified: bool
+    alpha: float
+
+    def agreement_with(self, data: np.ndarray) -> float:
+        """Fraction of positions where the reconstruction matches ``data``."""
+        data = np.asarray(data)
+        if data.shape != self.reconstruction.shape:
+            raise ValueError("shape mismatch between data and reconstruction")
+        return float((self.reconstruction == data).mean())
+
+    def hamming_distance(self, data: np.ndarray) -> int:
+        """Number of positions where the reconstruction disagrees with ``data``."""
+        return int((np.asarray(data) != self.reconstruction).sum())
+
+
+def _lipschitz_bound(matrix) -> float:
+    """Deterministic upper bound on ``||A||_2^2`` via ``||A||_1 * ||A||_inf``.
+
+    For 0/1 query matrices the bound is tight up to a small constant (the
+    top singular vector is near the all-ones direction), and unlike a power
+    iteration it involves no randomness at all.
+    """
+    if scipy.sparse.issparse(matrix):
+        row_sums = np.asarray(np.abs(matrix).sum(axis=1)).ravel()
+        col_sums = np.asarray(np.abs(matrix).sum(axis=0)).ravel()
+    else:
+        absolute = np.abs(matrix)
+        row_sums = absolute.sum(axis=1)
+        col_sums = absolute.sum(axis=0)
+    return float(row_sums.max() * col_sums.max())
+
+
+def _lipschitz_power(matrix, rng: np.random.Generator, iters: int = 32) -> float:
+    """Estimate ``||A||_2^2`` by seeded power iteration on ``A^T A``."""
+    n = matrix.shape[1]
+    vector = rng.random(n) + 1e-3
+    vector /= np.linalg.norm(vector)
+    sigma_sq = 1.0
+    for _ in range(iters):
+        product = matrix.T @ (matrix @ vector)
+        norm = float(np.linalg.norm(product))
+        if norm == 0.0:
+            return 1.0
+        sigma_sq = norm
+        vector = product / norm
+    # Power iteration underestimates; pad so 1/L stays a safe step size.
+    return float(sigma_sq * 1.05)
+
+
+def _resolve_lipschitz(matrix, lipschitz, rng: RngSeed) -> float:
+    if isinstance(lipschitz, (int, float)) and not isinstance(lipschitz, bool):
+        if lipschitz <= 0:
+            raise ValueError(f"lipschitz must be positive, got {lipschitz}")
+        return float(lipschitz)
+    if lipschitz == "auto":
+        return _lipschitz_bound(matrix)
+    if lipschitz == "power":
+        return _lipschitz_power(matrix, ensure_rng(rng))
+    raise ValueError(f"unknown lipschitz mode: {lipschitz!r}")
+
+
+def l2_decode(
+    queries: Workload | Sequence[SubsetQuery],
+    answers: np.ndarray,
+    alpha: float | None = None,
+    *,
+    reg: float = 0.0,
+    max_iters: int = DEFAULT_MAX_ITERS,
+    tol: float = DEFAULT_TOL,
+    check_every: int = DEFAULT_CHECK_EVERY,
+    lipschitz: float | str = "auto",
+    rng: RngSeed = 0,
+) -> L2ReconstructionResult:
+    """Decode a (workload, answers) transcript by projected least squares.
+
+    Args:
+        queries: the workload (its cached CSR assembly is reused).
+        answers: the released noisy answers, aligned with ``queries``.
+        alpha: worst-case error bound, when one is known.  Enables the
+            feasibility-certificate early exit: iteration stops as soon as
+            the rounded candidate satisfies ``max |A x~ - a| <= alpha``.
+        reg: ridge coefficient pulling the iterate toward the center
+            ``1/2`` — stabilizes underdetermined or very noisy systems.
+        max_iters: FISTA iteration cap.
+        tol: sup-norm iterate-change early stop.
+        check_every: cadence (iterations) of the certificate check.
+        lipschitz: step-size policy — ``"auto"`` (deterministic norm-product
+            bound), ``"power"`` (seeded power iteration), or an explicit
+            positive float.
+        rng: seed for ``lipschitz="power"``; otherwise unused.
+
+    Returns:
+        The rounded reconstruction with residual bookkeeping.
+    """
+    workload = Workload.coerce(queries)
+    answers = np.asarray(answers, dtype=float)
+    if answers.shape != (len(workload),):
+        raise ValueError("answers must align with the query list")
+    if max_iters <= 0:
+        raise ValueError(f"max_iters must be positive, got {max_iters}")
+    if check_every <= 0:
+        raise ValueError(f"check_every must be positive, got {check_every}")
+    if reg < 0:
+        raise ValueError(f"reg must be non-negative, got {reg}")
+
+    matrix = workload.matrix(sparse=True)
+    m, n = matrix.shape
+    step = 1.0 / (_resolve_lipschitz(matrix, lipschitz, rng) + reg)
+    bound = float("inf") if alpha is None else float(alpha)
+
+    center = np.full(n, 0.5)
+    z = center.copy()
+    y = z.copy()
+    t = 1.0
+    iterations = 0
+    for iteration in range(1, max_iters + 1):
+        gradient = matrix.T @ (matrix @ y - answers)
+        if reg:
+            gradient += reg * (y - center)
+        z_next = np.clip(y - step * gradient, 0.0, 1.0)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        y = z_next + ((t - 1.0) / t_next) * (z_next - z)
+        shift = float(np.max(np.abs(z_next - z)))
+        z = z_next
+        t = t_next
+        iterations = iteration
+        if np.isfinite(bound) and iteration % check_every == 0:
+            rounded = (z >= 0.5).astype(np.float64)
+            if float(np.max(np.abs(matrix @ rounded - answers))) <= bound:
+                break
+        if shift < tol:
+            break
+
+    reconstruction = (z >= 0.5).astype(np.int64)
+    residuals = np.abs(matrix @ reconstruction.astype(np.float64) - answers)
+    max_residual = float(residuals.max())
+    return L2ReconstructionResult(
+        reconstruction=reconstruction,
+        fractional=z,
+        queries_used=m,
+        iterations=iterations,
+        max_residual=max_residual,
+        mean_residual=float(residuals.mean()),
+        certified=bool(np.isfinite(bound) and max_residual <= bound),
+        alpha=bound if np.isfinite(bound) else float("nan"),
+    )
+
+
+def l2_decode_batch(
+    systems: np.ndarray,
+    answers: np.ndarray,
+    alpha: float | None = None,
+    *,
+    reg: float = 0.0,
+    max_iters: int = DEFAULT_MAX_ITERS,
+    tol: float = DEFAULT_TOL,
+    check_every: int = DEFAULT_CHECK_EVERY,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode ``k`` equal-shape dense systems simultaneously.
+
+    Args:
+        systems: ``(k, m, b)`` stack of per-block query matrices.
+        answers: ``(k, m)`` released answers.
+        alpha: shared worst-case error bound (certificate early exit).
+        reg, max_iters, tol, check_every: as in :func:`l2_decode`.
+
+    Returns:
+        ``(bits, fractional, max_residuals)`` with shapes ``(k, b)`` int64,
+        ``(k, b)`` float, and ``(k,)`` float — ``max_residuals`` is measured
+        on the rounded candidates, ready for the escalation test.
+
+    Each block's floating-point trajectory is element-wise independent of
+    its batch-mates (there is no cross-block reduction), so splitting the
+    stack across chunks or workers reproduces the same bits.  Blocks whose
+    rounded candidate passes the certificate are frozen and removed from
+    the active set, so a batch dominated by easy blocks exits early.
+    """
+    systems = np.asarray(systems, dtype=np.float64)
+    answers = np.asarray(answers, dtype=np.float64)
+    if systems.ndim != 3:
+        raise ValueError(f"systems must be (k, m, b), got ndim={systems.ndim}")
+    k, m, b = systems.shape
+    if answers.shape != (k, m):
+        raise ValueError(f"answers must be ({k}, {m}), got {answers.shape}")
+    bound = float("inf") if alpha is None else float(alpha)
+
+    # Per-block deterministic step sizes from the norm-product bound.
+    row_sums = systems.sum(axis=2).max(axis=1)  # (k,) max row sums
+    col_sums = systems.sum(axis=1).max(axis=1)  # (k,) max col sums
+    steps = 1.0 / (np.maximum(row_sums * col_sums, 1e-12) + reg)  # (k,)
+
+    fractional = np.full((k, b), 0.5)
+    active = np.arange(k)
+    z = fractional.copy()
+    y = z.copy()
+    a_mats = systems
+    a_vecs = answers
+    step = steps[:, None]
+    t = 1.0
+    for iteration in range(1, max_iters + 1):
+        residual = np.einsum("kmb,kb->km", a_mats, y) - a_vecs
+        gradient = np.einsum("kmb,km->kb", a_mats, residual)
+        if reg:
+            gradient += reg * (y - 0.5)
+        z_next = np.clip(y - step * gradient, 0.0, 1.0)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        y = z_next + ((t - 1.0) / t_next) * (z_next - z)
+        shifts = np.abs(z_next - z).max(axis=1)
+        z = z_next
+        t = t_next
+
+        done = shifts < tol
+        if np.isfinite(bound) and iteration % check_every == 0:
+            rounded = (z >= 0.5).astype(np.float64)
+            cert = np.abs(
+                np.einsum("kmb,kb->km", a_mats, rounded) - a_vecs
+            ).max(axis=1)
+            done |= cert <= bound
+        if done.any() or iteration == max_iters:
+            finished = done if iteration < max_iters else np.ones_like(done)
+            fractional[active[finished]] = z[finished]
+            keep = ~finished
+            if not keep.any():
+                break
+            active = active[keep]
+            z, y = z[keep], y[keep]
+            a_mats, a_vecs, step = a_mats[keep], a_vecs[keep], step[keep]
+
+    bits = (fractional >= 0.5).astype(np.int64)
+    residuals = np.abs(
+        np.einsum("kmb,kb->km", systems, bits.astype(np.float64)) - answers
+    ).max(axis=1)
+    return bits, fractional, residuals

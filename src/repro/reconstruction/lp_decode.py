@@ -45,6 +45,57 @@ DEFAULT_LP_SOLVER = "highs-ipm"
 
 
 @dataclass(frozen=True)
+class LpSolverOptions:
+    """Solver configuration for the decoding LPs.
+
+    Collected in one place so callers (the sharded pipeline, the service
+    auditor, the benchmarks) can tune the solve without every function in
+    the chain growing another keyword:
+
+    Attributes:
+        method: the :func:`scipy.optimize.linprog` method (a HiGHS
+            algorithm name, e.g. ``"highs-ipm"``, ``"highs-ds"``,
+            ``"highs"``).
+        presolve: whether HiGHS runs its presolve reductions.
+        time_limit: wall-clock budget in seconds for one solve (``None``
+            for unlimited).  A timed-out solve reports failure, which the
+            feasibility path degrades to least-l1 and other callers see as
+            :class:`RuntimeError` — no silent partial answers.
+    """
+
+    method: str = DEFAULT_LP_SOLVER
+    presolve: bool = True
+    time_limit: float | None = None
+
+    def __post_init__(self):
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ValueError(f"time_limit must be positive, got {self.time_limit}")
+
+    def linprog_kwargs(self) -> dict:
+        """The ``method=`` / ``options=`` pair to splat into ``linprog``."""
+        options: dict = {"presolve": bool(self.presolve)}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+        return {"method": self.method, "options": options}
+
+
+def _resolve_options(
+    solver: str | None, options: LpSolverOptions | None
+) -> LpSolverOptions:
+    """Merge the legacy ``solver=`` knob with an options object.
+
+    ``solver`` predates :class:`LpSolverOptions` and remains supported
+    everywhere; an explicit ``options`` wins, a bare ``solver`` string is
+    wrapped, and neither means defaults.
+    """
+    if options is not None:
+        return options
+    if solver is not None and solver != DEFAULT_LP_SOLVER:
+        return LpSolverOptions(method=solver)
+    return LpSolverOptions()
+
+
+@dataclass(frozen=True)
 class LpReconstructionResult:
     """Outcome of the LP-decoding attack.
 
@@ -82,7 +133,9 @@ def lp_reconstruction(
     density: float = 0.5,
     rng: RngSeed = None,
     workload: Workload | None = None,
-    solver: str = DEFAULT_LP_SOLVER,
+    solver: str | None = None,
+    warm_start: np.ndarray | None = None,
+    options: LpSolverOptions | None = None,
 ) -> LpReconstructionResult:
     """Run the Theorem 1.1(ii) attack against ``answerer``.
 
@@ -100,7 +153,14 @@ def lp_reconstruction(
         rng: randomness for the workload.
         workload: a pre-built workload to attack with, reusing its cached
             sparse assembly; overrides ``num_queries``/``density``/``rng``.
-        solver: HiGHS algorithm passed to :func:`scipy.optimize.linprog`.
+        solver: HiGHS algorithm passed to :func:`scipy.optimize.linprog`
+            (legacy knob; superseded by ``options``).
+        warm_start: a candidate point in ``[0, 1]^n`` (typically the
+            fractional iterate of :func:`repro.reconstruction.l2_decode.
+            l2_decode`).  In feasibility mode a warm start that already
+            satisfies every constraint is returned without invoking the
+            solver at all — checking the certificate is one matvec.
+        options: full solver configuration (:class:`LpSolverOptions`).
 
     Returns:
         The rounded reconstruction with bookkeeping.
@@ -124,16 +184,19 @@ def lp_reconstruction(
 
     answers = answerer.answer_workload(workload)
     matrix = workload.matrix(sparse=True)
+    resolved = _resolve_options(solver, options)
 
     if mode == "feasibility":
         if alpha is None:
             alpha = answerer.error_bound
         if not np.isfinite(alpha):
             raise ValueError("feasibility mode needs a finite alpha")
-        fractional = _solve_feasibility(matrix, answers, float(alpha), solver)
+        fractional = _solve_feasibility(
+            matrix, answers, float(alpha), resolved, warm_start
+        )
         used_alpha = float(alpha)
     else:
-        fractional = _solve_least_l1(matrix, answers, solver)
+        fractional = _solve_least_l1(matrix, answers, resolved)
         used_alpha = float("nan")
 
     reconstruction = (fractional >= 0.5).astype(np.int64)
@@ -150,25 +213,32 @@ def reconstruct_from_answers(
     queries: Workload | Sequence[SubsetQuery],
     answers: np.ndarray,
     alpha: float | None = None,
-    solver: str = DEFAULT_LP_SOLVER,
+    solver: str | None = None,
+    warm_start: np.ndarray | None = None,
+    options: LpSolverOptions | None = None,
 ) -> LpReconstructionResult:
     """LP-decode a pre-collected (workload, answers) transcript.
 
     Used when the attack must replay recorded interaction (e.g. attacking a
     mechanism that limits each caller's query budget), and by the
     experiments to reuse one workload — and its one-time sparse assembly —
-    across whole noise sweeps.
+    across whole noise sweeps.  ``warm_start`` and ``options`` behave as in
+    :func:`lp_reconstruction`; the sharded pipeline escalates failed l2
+    shards through here with the l2 fractional iterate as the warm start.
     """
     workload = Workload.coerce(queries)
     answers = np.asarray(answers, dtype=float)
     if answers.shape != (len(workload),):
         raise ValueError("answers must align with the query list")
     matrix = workload.matrix(sparse=True)
+    resolved = _resolve_options(solver, options)
     if alpha is not None and np.isfinite(alpha):
-        fractional = _solve_feasibility(matrix, answers, float(alpha), solver)
+        fractional = _solve_feasibility(
+            matrix, answers, float(alpha), resolved, warm_start
+        )
         mode, used_alpha = "feasibility", float(alpha)
     else:
-        fractional = _solve_least_l1(matrix, answers, solver)
+        fractional = _solve_least_l1(matrix, answers, resolved)
         mode, used_alpha = "least-l1", float("nan")
     return LpReconstructionResult(
         reconstruction=(fractional >= 0.5).astype(np.int64),
@@ -179,18 +249,38 @@ def reconstruct_from_answers(
     )
 
 
+def _validated_warm_start(warm_start, n: int) -> np.ndarray | None:
+    if warm_start is None:
+        return None
+    candidate = np.asarray(warm_start, dtype=float)
+    if candidate.shape != (n,):
+        raise ValueError(f"warm_start has shape {candidate.shape}, expected ({n},)")
+    return np.clip(candidate, 0.0, 1.0)
+
+
 def _solve_feasibility(
-    matrix, answers: np.ndarray, alpha: float, solver: str = DEFAULT_LP_SOLVER
+    matrix,
+    answers: np.ndarray,
+    alpha: float,
+    options: LpSolverOptions | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> np.ndarray:
     """Find z in [0,1]^n with |A z - a| <= alpha (elementwise).
 
     Encoded as a linear program with zero objective; ``matrix`` may be dense
     or CSR sparse — the stacked [A; -A] constraint block stays in the same
-    format.  When the LP is infeasible at the stated alpha (an answerer
-    lying about its accuracy) we retry in least-l1 mode so the attack
-    degrades gracefully.
+    format.  A ``warm_start`` that already meets every constraint *is* a
+    solution of this zero-objective program, so it is returned after a
+    single certifying matvec.  When the LP is infeasible at the stated
+    alpha (an answerer lying about its accuracy) we retry in least-l1 mode
+    so the attack degrades gracefully.
     """
+    options = options or LpSolverOptions()
     m, n = matrix.shape
+    candidate = _validated_warm_start(warm_start, n)
+    if candidate is not None:
+        if float(np.max(np.abs(matrix @ candidate - answers))) <= alpha:
+            return candidate
     # Constraints: A z <= a + alpha  and  -A z <= -(a - alpha).
     if scipy.sparse.issparse(matrix):
         a_ub = scipy.sparse.vstack([matrix, -matrix], format="csr")
@@ -202,18 +292,18 @@ def _solve_feasibility(
         A_ub=a_ub,
         b_ub=b_ub,
         bounds=[(0.0, 1.0)] * n,
-        method=solver,
+        **options.linprog_kwargs(),
     )
     if not result.success:
-        return _solve_least_l1(matrix, answers, solver)
+        return _solve_least_l1(matrix, answers, options)
     return np.clip(result.x, 0.0, 1.0)
 
 
 def _solve_least_l1(
-    matrix, answers: np.ndarray, solver: str = DEFAULT_LP_SOLVER
+    matrix, answers: np.ndarray, options: LpSolverOptions | None = None
 ) -> np.ndarray:
     """Minimize ||A z - a||_1 over z in [0,1]^n via the standard LP lift."""
-    return solve_least_l1(matrix, answers, solver=solver)
+    return solve_least_l1(matrix, answers, options=options)
 
 
 def solve_least_l1(
@@ -222,7 +312,8 @@ def solve_least_l1(
     *,
     lower: float = 0.0,
     upper: float | None = 1.0,
-    solver: str = DEFAULT_LP_SOLVER,
+    solver: str | None = None,
+    options: LpSolverOptions | None = None,
 ) -> np.ndarray:
     """Minimize ``||A z - a||_1`` over box-bounded ``z`` via the LP lift.
 
@@ -233,6 +324,7 @@ def solve_least_l1(
     (:mod:`repro.synth.hierarchical`) reuses the same solve with
     ``upper=None`` to fit non-negative count vectors to noisy tables.
     """
+    options = _resolve_options(solver, options)
     answers = np.asarray(targets, dtype=float)
     m, n = matrix.shape
     if answers.shape != (m,):
@@ -257,7 +349,7 @@ def solve_least_l1(
         )
     b_ub = np.concatenate([answers, -answers])
     bounds = [(lower, upper)] * n + [(0.0, None)] * m
-    result = linprog(c=c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method=solver)
+    result = linprog(c=c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, **options.linprog_kwargs())
     if not result.success:
         raise RuntimeError(f"LP solver failed: {result.message}")
     if upper is None:

@@ -1,0 +1,587 @@
+"""Census-scale sharded reconstruction: per-block subproblems, joined.
+
+The 2010 Census reconstruction did not solve one nation-sized system — it
+solved ~6 million *block-level* systems, because every published table is
+tabulated within a census block and therefore never couples variables
+across blocks.  This module exploits the same structure for the abstract
+subset-query attacks:
+
+* :class:`BlockPartition` recovers the block structure *from the query
+  support alone* — two positions belong to the same block exactly when
+  some chain of queries connects them, i.e. the connected components of
+  the query-position incidence graph.  Positions touched by no query are
+  unconstrained and reported separately.
+* :class:`ShardedReconstructor` decomposes a (workload, answers)
+  transcript along a partition into independent per-block shards, decodes
+  every shard with the first-order l2 fast path
+  (:mod:`repro.reconstruction.l2_decode`), escalates individual shards to
+  the LP decoder only when the l2 certificate fails (warm-started with the
+  l2 fractional iterate), and joins the per-shard bits back into one
+  reconstruction.  Shards are dispatched through
+  :func:`repro.utils.parallel.parallel_map` with per-shard cost weights.
+
+Determinism: shard formation, batching, and per-shard seed streams are
+pure functions of (workload, partition, seed) — never of ``jobs``, the
+backend, or scheduling order — and every per-shard decode is independent
+of its batch-mates, so the joined reconstruction is bit-identical across
+``jobs=1`` and ``jobs=N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse
+from scipy.sparse.csgraph import connected_components
+
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.reconstruction.l2_decode import (
+    DEFAULT_CHECK_EVERY,
+    DEFAULT_MAX_ITERS,
+    DEFAULT_TOL,
+    l2_decode,
+    l2_decode_batch,
+)
+from repro.reconstruction.lp_decode import LpSolverOptions, reconstruct_from_answers
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import RngSeed, derive_rng
+
+#: Default number of equal-shape shards decoded per batched einsum call.
+DEFAULT_BATCH_SIZE = 64
+
+#: Default cap on ``m * b`` for a shard to take the dense batched path.
+DEFAULT_DENSE_LIMIT = 1 << 16
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """A decomposition of positions (and queries) into independent blocks.
+
+    Attributes:
+        n: total number of positions the workload addresses.
+        blocks: per-block sorted position indices; disjoint.
+        query_blocks: per-block sorted query-row indices; each query's
+            support lies entirely inside its block's positions.
+        unconstrained: positions touched by no query at all.  No transcript
+            carries information about them; the join writes zeros there.
+    """
+
+    n: int
+    blocks: tuple[np.ndarray, ...]
+    query_blocks: tuple[np.ndarray, ...]
+    unconstrained: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    @property
+    def block_sizes(self) -> np.ndarray:
+        """Per-block position counts."""
+        return np.array([len(block) for block in self.blocks], dtype=np.int64)
+
+    @classmethod
+    def from_workload(cls, workload: Workload | Sequence[SubsetQuery]) -> "BlockPartition":
+        """Discover the partition from the query support.
+
+        Positions i and j land in the same block iff they are connected in
+        the graph whose edges join the positions of each query — computed
+        as connected components over a star graph per query (head position
+        to every other position), which is ``O(nnz)`` edges rather than the
+        ``O(sum m_i^2)`` of the full per-query cliques.  Blocks are
+        numbered by their smallest position index, so the labeling is a
+        pure function of the workload.
+        """
+        workload = Workload.coerce(workload)
+        csr = workload.matrix(sparse=True)
+        m, n = csr.shape
+        indptr, indices = csr.indptr, csr.indices
+        sizes = np.diff(indptr)
+        if (sizes == 0).any():
+            empty = int(np.flatnonzero(sizes == 0)[0])
+            raise ValueError(
+                f"query {empty} has empty support and cannot be assigned to a block"
+            )
+        heads = indices[indptr[:-1]]
+        src = np.repeat(heads, sizes - 1)
+        tgt = np.delete(indices, indptr[:-1])
+        graph = scipy.sparse.coo_matrix(
+            (np.ones(len(src), dtype=np.int8), (src, tgt)), shape=(n, n)
+        )
+        num_components, labels = connected_components(graph, directed=False)
+
+        covered = np.zeros(n, dtype=bool)
+        covered[indices] = True
+        unconstrained = np.flatnonzero(~covered)
+
+        positions = np.flatnonzero(covered)
+        pos_labels = labels[positions]
+        uniq, first_index, inverse = np.unique(
+            pos_labels, return_index=True, return_inverse=True
+        )
+        # Renumber components so block k is the one whose first covered
+        # position is k-th smallest (np.unique sorted by raw label instead).
+        order = np.argsort(first_index, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[order] = np.arange(len(uniq))
+        block_of_position = rank[inverse]
+
+        blocks = _group_by(positions, block_of_position, len(uniq))
+        label_to_block = np.full(num_components, -1, dtype=np.int64)
+        label_to_block[uniq] = rank
+        row_block = label_to_block[labels[heads]]
+        query_blocks = _group_by(np.arange(m), row_block, len(uniq))
+        return cls(
+            n=n,
+            blocks=blocks,
+            query_blocks=query_blocks,
+            unconstrained=unconstrained,
+        )
+
+    @classmethod
+    def from_labels(
+        cls,
+        labels: np.ndarray | Sequence[int],
+        workload: Workload | Sequence[SubsetQuery],
+    ) -> "BlockPartition":
+        """Build a partition from caller-supplied per-position block labels.
+
+        Validates that every query's support stays inside one label — a
+        query spanning labels would couple the shards and the decomposition
+        would be wrong, so that is an error, not a silent merge.  Positions
+        touched by no query are reported as unconstrained even if labeled.
+        """
+        workload = Workload.coerce(workload)
+        labels = np.asarray(labels)
+        if labels.shape != (workload.n,):
+            raise ValueError(
+                f"labels must have shape ({workload.n},), got {labels.shape}"
+            )
+        csr = workload.matrix(sparse=True)
+        m, n = csr.shape
+        indptr, indices = csr.indptr, csr.indices
+        sizes = np.diff(indptr)
+        if (sizes == 0).any():
+            empty = int(np.flatnonzero(sizes == 0)[0])
+            raise ValueError(
+                f"query {empty} has empty support and cannot be assigned to a block"
+            )
+        support_labels = labels[indices]
+        row_min = np.minimum.reduceat(support_labels, indptr[:-1])
+        row_max = np.maximum.reduceat(support_labels, indptr[:-1])
+        if (row_min != row_max).any():
+            bad = int(np.flatnonzero(row_min != row_max)[0])
+            raise ValueError(f"query {bad} spans multiple blocks")
+
+        covered = np.zeros(n, dtype=bool)
+        covered[indices] = True
+        unconstrained = np.flatnonzero(~covered)
+        positions = np.flatnonzero(covered)
+        uniq, inverse = np.unique(labels[positions], return_inverse=True)
+        blocks = _group_by(positions, inverse, len(uniq))
+        row_block = np.searchsorted(uniq, row_min)
+        query_blocks = _group_by(np.arange(m), row_block, len(uniq))
+        return cls(
+            n=n,
+            blocks=blocks,
+            query_blocks=query_blocks,
+            unconstrained=unconstrained,
+        )
+
+
+def _group_by(
+    values: np.ndarray, groups: np.ndarray, num_groups: int
+) -> tuple[np.ndarray, ...]:
+    """Split sorted ``values`` into per-group arrays (ascending within each)."""
+    order = np.argsort(groups, kind="stable")
+    counts = np.bincount(groups, minlength=num_groups)
+    return tuple(np.split(values[order], np.cumsum(counts)[:-1]))
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard decoding bookkeeping."""
+
+    block: int  #: block index within the partition
+    size: int  #: positions in the block
+    queries: int  #: queries assigned to the block
+    max_residual: float  #: max |A x~ - a| of the shard's final bits
+    certified: bool  #: l2 candidate passed the feasibility certificate
+    escalated: bool  #: the shard was re-solved by the LP decoder
+
+
+@dataclass(frozen=True)
+class ShardedReconstructionResult:
+    """Joined outcome of the sharded reconstruction pipeline."""
+
+    reconstruction: np.ndarray
+    queries_used: int
+    alpha: float  #: certificate bound tested per shard (nan when none)
+    shard_reports: tuple[ShardReport, ...]
+
+    @property
+    def blocks(self) -> int:
+        """Number of shards decoded."""
+        return len(self.shard_reports)
+
+    @property
+    def certified(self) -> int:
+        """Shards whose l2 candidate passed the feasibility certificate."""
+        return sum(1 for report in self.shard_reports if report.certified)
+
+    @property
+    def escalated(self) -> int:
+        """Shards escalated to the LP decoder."""
+        return sum(1 for report in self.shard_reports if report.escalated)
+
+    @property
+    def escalated_blocks(self) -> tuple[int, ...]:
+        """Block indices of the escalated shards."""
+        return tuple(r.block for r in self.shard_reports if r.escalated)
+
+    @property
+    def max_residual(self) -> float:
+        """Worst per-shard residual of the joined reconstruction."""
+        return max((r.max_residual for r in self.shard_reports), default=0.0)
+
+    def agreement_with(self, data: np.ndarray) -> float:
+        """Fraction of positions where the reconstruction matches ``data``."""
+        data = np.asarray(data)
+        if data.shape != self.reconstruction.shape:
+            raise ValueError("shape mismatch between data and reconstruction")
+        return float((self.reconstruction == data).mean())
+
+    def hamming_distance(self, data: np.ndarray) -> int:
+        """Number of positions where the reconstruction disagrees with ``data``."""
+        return int((np.asarray(data) != self.reconstruction).sum())
+
+
+class ShardedReconstructor:
+    """Decode a transcript block-by-block: l2 fast path, LP on escalation.
+
+    Args:
+        alpha: worst-case answer error bound, when known.  Drives both the
+            per-shard feasibility certificate and the escalated LP's
+            feasibility mode.
+        escalate_threshold: residual level above which a shard escalates to
+            the LP when no finite ``alpha`` is available (escalated LPs
+            then run in least-l1 mode).  With a finite ``alpha`` the
+            certificate itself is the threshold.
+        escalate: master switch; ``False`` never invokes the LP (pure
+            first-order pipeline, used to benchmark the fast path alone).
+        reg, max_iters, tol, check_every, lipschitz: forwarded to the l2
+            decoder (see :func:`repro.reconstruction.l2_decode.l2_decode`).
+        batch_size: how many equal-shape shards decode per batched call.
+        dense_limit: shards with ``m * b`` above this stay sparse and
+            decode individually instead of joining a dense batch.
+        lp_options: solver configuration for escalated LPs.
+    """
+
+    def __init__(
+        self,
+        alpha: float | None = None,
+        *,
+        escalate_threshold: float | None = None,
+        escalate: bool = True,
+        reg: float = 0.0,
+        max_iters: int = DEFAULT_MAX_ITERS,
+        tol: float = DEFAULT_TOL,
+        check_every: int = DEFAULT_CHECK_EVERY,
+        lipschitz: float | str = "auto",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        dense_limit: int = DEFAULT_DENSE_LIMIT,
+        lp_options: LpSolverOptions | None = None,
+    ):
+        if alpha is not None and alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.alpha = None if alpha is None or not np.isfinite(alpha) else float(alpha)
+        self.escalate_threshold = (
+            None if escalate_threshold is None else float(escalate_threshold)
+        )
+        self.escalate = bool(escalate)
+        self.reg = float(reg)
+        self.max_iters = int(max_iters)
+        self.tol = float(tol)
+        self.check_every = int(check_every)
+        self.lipschitz = lipschitz
+        self.batch_size = int(batch_size)
+        self.dense_limit = int(dense_limit)
+        self.lp_options = lp_options
+
+    def _threshold(self) -> float:
+        """Residual level beyond which a shard escalates to the LP."""
+        if not self.escalate:
+            return float("inf")
+        if self.alpha is not None:
+            return self.alpha
+        if self.escalate_threshold is not None:
+            return self.escalate_threshold
+        return float("inf")
+
+    def reconstruct(
+        self,
+        workload: Workload | Sequence[SubsetQuery],
+        answers: np.ndarray,
+        *,
+        partition: BlockPartition | None = None,
+        jobs: int | None = 1,
+        backend: str = "auto",
+        seed: RngSeed = 0,
+    ) -> ShardedReconstructionResult:
+        """Decode ``(workload, answers)`` shard-by-shard and join the bits.
+
+        Args:
+            workload: the attacked workload (cached CSR assembly reused).
+            answers: released answers aligned with the workload rows.
+            partition: block structure; discovered from the query support
+                (:meth:`BlockPartition.from_workload`) when omitted.
+            jobs: worker count for shard dispatch (see
+                :func:`repro.utils.parallel.parallel_map`).
+            backend: parallel backend name.
+            seed: master seed for the per-shard sub-streams (only consumed
+                when ``lipschitz="power"``; the default path is
+                deterministic without randomness).
+
+        Returns:
+            The joined reconstruction plus per-shard reports (sorted by
+            block index).  Bit-identical across ``jobs`` settings.
+        """
+        workload = Workload.coerce(workload)
+        answers = np.asarray(answers, dtype=float)
+        if answers.shape != (len(workload),):
+            raise ValueError("answers must align with the query list")
+        if partition is None:
+            partition = BlockPartition.from_workload(workload)
+        elif partition.n != workload.n:
+            raise ValueError(
+                f"partition addresses n={partition.n}, workload has n={workload.n}"
+            )
+        csr = workload.matrix(sparse=True)
+
+        tasks = self._build_tasks(partition)
+        weights = [
+            sum(
+                len(partition.query_blocks[i]) * len(partition.blocks[i])
+                for i in task
+            )
+            for task in tasks
+        ]
+        worker = self._make_worker(csr, answers, partition, seed)
+        shard_outputs = parallel_map(
+            worker, tasks, jobs=jobs, backend=backend, weights=weights
+        )
+
+        reconstruction = np.zeros(partition.n, dtype=np.int64)
+        reports: list[ShardReport] = []
+        for task_output in shard_outputs:
+            for block_index, bits, report in task_output:
+                reconstruction[partition.blocks[block_index]] = bits
+                reports.append(report)
+        reports.sort(key=lambda report: report.block)
+        return ShardedReconstructionResult(
+            reconstruction=reconstruction,
+            queries_used=len(workload),
+            alpha=float("nan") if self.alpha is None else self.alpha,
+            shard_reports=tuple(reports),
+        )
+
+    def _build_tasks(self, partition: BlockPartition) -> list[list[int]]:
+        """Group shard indices into decode tasks.
+
+        Equal-shape small shards are grouped into batches of
+        ``batch_size`` (in block order) for the batched dense decoder;
+        oversized shards become singleton tasks on the sparse path.  The
+        grouping is a pure function of the partition, never of ``jobs``.
+        """
+        tasks: list[list[int]] = []
+        pending: dict[tuple[int, int], list[int]] = {}
+        pending_order: list[tuple[int, int]] = []
+        for index in range(partition.num_blocks):
+            shape = (
+                len(partition.query_blocks[index]),
+                len(partition.blocks[index]),
+            )
+            if shape[0] == 0 or shape[0] * shape[1] > self.dense_limit:
+                tasks.append([index])
+                continue
+            if shape not in pending:
+                pending[shape] = []
+                pending_order.append(shape)
+            pending[shape].append(index)
+            if len(pending[shape]) == self.batch_size:
+                tasks.append(pending.pop(shape))
+                pending_order.remove(shape)
+        for shape in pending_order:
+            tasks.append(pending[shape])
+        return tasks
+
+    def _make_worker(
+        self,
+        csr: scipy.sparse.csr_matrix,
+        answers: np.ndarray,
+        partition: BlockPartition,
+        seed: RngSeed,
+    ) -> Callable[[list[int]], list]:
+        """Bind the shared inputs into the per-task work function.
+
+        The closure crosses the process boundary by fork inheritance (see
+        :mod:`repro.utils.parallel`), so the full CSR is never pickled.
+        """
+
+        def decode_task(task: list[int]) -> list:
+            if len(task) == 1:
+                return [self._decode_single(csr, answers, partition, task[0], seed)]
+            return self._decode_batch(csr, answers, partition, task)
+
+        return decode_task
+
+    def _shard_system(
+        self,
+        csr: scipy.sparse.csr_matrix,
+        answers: np.ndarray,
+        partition: BlockPartition,
+        index: int,
+    ) -> tuple[scipy.sparse.csr_matrix, np.ndarray]:
+        rows = partition.query_blocks[index]
+        cols = partition.blocks[index]
+        return csr[rows][:, cols], answers[rows]
+
+    def _decode_single(
+        self,
+        csr: scipy.sparse.csr_matrix,
+        answers: np.ndarray,
+        partition: BlockPartition,
+        index: int,
+        seed: RngSeed,
+    ) -> tuple[int, np.ndarray, ShardReport]:
+        """Decode one shard on the sparse l2 path, escalating if needed."""
+        matrix, shard_answers = self._shard_system(csr, answers, partition, index)
+        if matrix.shape[0] == 0:
+            # No query touches the block alone — cannot happen for
+            # discovered partitions, but a caller-supplied one may isolate
+            # an unqueried label; the uninformative answer is all zeros.
+            bits = np.zeros(matrix.shape[1], dtype=np.int64)
+            report = ShardReport(
+                block=index,
+                size=matrix.shape[1],
+                queries=0,
+                max_residual=0.0,
+                certified=False,
+                escalated=False,
+            )
+            return index, bits, report
+        shard_workload = Workload.from_csr(matrix, copy=False)
+        result = l2_decode(
+            shard_workload,
+            shard_answers,
+            self.alpha,
+            reg=self.reg,
+            max_iters=self.max_iters,
+            tol=self.tol,
+            check_every=self.check_every,
+            lipschitz=self.lipschitz,
+            rng=_shard_seed(seed, index),
+        )
+        bits = result.reconstruction
+        max_residual = result.max_residual
+        escalated = max_residual > self._threshold()
+        if escalated:
+            lp = reconstruct_from_answers(
+                shard_workload,
+                shard_answers,
+                alpha=self.alpha,
+                warm_start=result.fractional,
+                options=self.lp_options,
+            )
+            bits = lp.reconstruction
+            max_residual = float(
+                np.max(np.abs(matrix @ bits.astype(np.float64) - shard_answers))
+            )
+        report = ShardReport(
+            block=index,
+            size=len(bits),
+            queries=matrix.shape[0],
+            max_residual=max_residual,
+            certified=result.certified,
+            escalated=escalated,
+        )
+        return index, bits, report
+
+    def _decode_batch(
+        self,
+        csr: scipy.sparse.csr_matrix,
+        answers: np.ndarray,
+        partition: BlockPartition,
+        task: list[int],
+    ) -> list[tuple[int, np.ndarray, ShardReport]]:
+        """Decode a batch of equal-shape shards with one einsum iteration."""
+        systems = []
+        answer_rows = []
+        for index in task:
+            matrix, shard_answers = self._shard_system(csr, answers, partition, index)
+            systems.append(matrix.toarray())
+            answer_rows.append(shard_answers)
+        stacked = np.stack(systems)
+        stacked_answers = np.stack(answer_rows)
+        bits, fractional, residuals = l2_decode_batch(
+            stacked,
+            stacked_answers,
+            self.alpha,
+            reg=self.reg,
+            max_iters=self.max_iters,
+            tol=self.tol,
+            check_every=self.check_every,
+        )
+        threshold = self._threshold()
+        outputs = []
+        for j, index in enumerate(task):
+            shard_bits = bits[j]
+            max_residual = float(residuals[j])
+            certified = self.alpha is not None and max_residual <= self.alpha
+            escalated = max_residual > threshold
+            if escalated:
+                shard_workload = Workload.from_csr(
+                    scipy.sparse.csr_matrix(stacked[j]), copy=False
+                )
+                lp = reconstruct_from_answers(
+                    shard_workload,
+                    stacked_answers[j],
+                    alpha=self.alpha,
+                    warm_start=fractional[j],
+                    options=self.lp_options,
+                )
+                shard_bits = lp.reconstruction
+                max_residual = float(
+                    np.max(
+                        np.abs(
+                            stacked[j] @ shard_bits.astype(np.float64)
+                            - stacked_answers[j]
+                        )
+                    )
+                )
+            outputs.append(
+                (
+                    index,
+                    shard_bits,
+                    ShardReport(
+                        block=index,
+                        size=len(shard_bits),
+                        queries=stacked.shape[1],
+                        max_residual=max_residual,
+                        certified=certified,
+                        escalated=escalated,
+                    ),
+                )
+            )
+        return outputs
+
+
+def _shard_seed(seed: RngSeed, index: int) -> RngSeed:
+    """Deterministic per-shard sub-stream: a function of (seed, index) only."""
+    return derive_rng(seed, "shard", index)

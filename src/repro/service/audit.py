@@ -34,7 +34,15 @@ if TYPE_CHECKING:
 
 from repro.queries.query import _validate_binary
 from repro.queries.workload import Workload
+from repro.reconstruction.l2_decode import l2_decode
 from repro.reconstruction.lp_decode import DEFAULT_LP_SOLVER, reconstruct_from_answers
+
+#: Recognized auditor screening modes.
+SCREEN_MODES = ("lp", "l2")
+
+#: Default safety margin (in agreement) below the trip threshold under
+#: which the cheap l2 screen is trusted without confirming via the LP.
+DEFAULT_SCREEN_MARGIN = 0.15
 
 
 class CircuitBreakerTripped(RuntimeError):
@@ -216,6 +224,9 @@ class AuditReport:
     mode: str
     threshold: float
     elapsed_seconds: float = field(compare=False, default=0.0)
+    #: Whether an l2 screening pass escalated to the confirming LP solve
+    #: (always ``False`` for pure-LP auditors).
+    escalated: bool = False
 
 
 class ReconstructionAuditor:
@@ -241,6 +252,17 @@ class ReconstructionAuditor:
         alpha: feasibility slack for the replay LP; ``None`` uses least-l1
             decoding (the right mode for unbounded-noise mechanisms).
         solver: HiGHS algorithm for the replay LP.
+        screen: ``"lp"`` replays every pass through the LP decoder (the
+            original behavior).  ``"l2"`` first replays through the cheap
+            first-order decoder (:func:`repro.reconstruction.l2_decode.
+            l2_decode`) and only escalates to the confirming LP solve when
+            the screened agreement lands within ``screen_margin`` of the
+            trip threshold — so routine passes cost two matvecs per
+            iteration instead of an LP, while any pass that could possibly
+            trip is still decided by the exact same LP solve (and therefore
+            the same agreement value and verdict) as ``screen="lp"``.
+        screen_margin: how far below the threshold the l2 agreement must
+            stay for a screened pass to skip the confirming LP.
     """
 
     def __init__(
@@ -251,6 +273,8 @@ class ReconstructionAuditor:
         min_queries: int = 64,
         alpha: float | None = None,
         solver: str = DEFAULT_LP_SOLVER,
+        screen: str = "lp",
+        screen_margin: float = DEFAULT_SCREEN_MARGIN,
     ):
         data = np.asarray(data)
         self._data = _validate_binary(data, data.size)
@@ -260,11 +284,17 @@ class ReconstructionAuditor:
             raise ValueError("audit_every must be positive")
         if min_queries <= 0:
             raise ValueError("min_queries must be positive")
+        if screen not in SCREEN_MODES:
+            raise ValueError(f"unknown screen mode {screen!r}; known: {SCREEN_MODES}")
+        if screen_margin < 0:
+            raise ValueError("screen_margin must be non-negative")
         self.agreement_threshold = float(agreement_threshold)
         self.audit_every = int(audit_every)
         self.min_queries = int(min_queries)
         self.alpha = alpha
         self.solver = solver
+        self.screen = screen
+        self.screen_margin = float(screen_margin)
         self._lock = threading.Lock()
         self._audited_at: dict[str, int] = {}
         self._tripped: dict[str, AuditReport] = {}
@@ -334,10 +364,30 @@ class ReconstructionAuditor:
             np.stack([record.mask() for record in unique]), copy=False
         )
         answers = np.array([record.answer for record in unique], dtype=float)
-        result = reconstruct_from_answers(
-            workload, answers, alpha=self.alpha, solver=self.solver
-        )
-        agreement = result.agreement_with(self._data)
+        escalated = False
+        if self.screen == "l2":
+            screened = l2_decode(workload, answers, self.alpha)
+            agreement = screened.agreement_with(self._data)
+            mode = "l2-screen"
+            if agreement >= self.agreement_threshold - self.screen_margin:
+                # Near or above the trip bar: the verdict must come from
+                # the exact LP replay, warm-started with the l2 iterate.
+                escalated = True
+                result = reconstruct_from_answers(
+                    workload,
+                    answers,
+                    alpha=self.alpha,
+                    solver=self.solver,
+                    warm_start=screened.fractional,
+                )
+                agreement = result.agreement_with(self._data)
+                mode = result.mode
+        else:
+            result = reconstruct_from_answers(
+                workload, answers, alpha=self.alpha, solver=self.solver
+            )
+            agreement = result.agreement_with(self._data)
+            mode = result.mode
         elapsed = time.perf_counter() - start
         report = AuditReport(
             analyst=analyst,
@@ -345,9 +395,10 @@ class ReconstructionAuditor:
             unique_queries=len(unique),
             agreement=agreement,
             flagged=agreement >= self.agreement_threshold,
-            mode=result.mode,
+            mode=mode,
             threshold=self.agreement_threshold,
             elapsed_seconds=elapsed,
+            escalated=escalated,
         )
         with self._lock:
             self._reports.append(report)

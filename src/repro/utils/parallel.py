@@ -107,6 +107,42 @@ def chunk_indices(count: int, chunks: int) -> list[range]:
         start += size
     return [r for r in ranges if len(r)]
 
+
+def chunk_indices_weighted(
+    weights: Sequence[float], chunks: int
+) -> list[list[int]]:
+    """Split ``range(len(weights))`` into at most ``chunks`` balanced groups.
+
+    Equal-size contiguous chunks (:func:`chunk_indices`) balance workers
+    only when items cost about the same; sharded reconstruction dispatches
+    *heterogeneous* shards (block LPs whose cost grows superlinearly in the
+    block size), where one unlucky chunk of big blocks serializes the whole
+    join.  This variant runs the classic LPT greedy: items in decreasing
+    weight order, each assigned to the currently lightest chunk.  The
+    result is a pure function of ``(weights, chunks)`` — ties broken by
+    chunk index then item index — so work distribution stays deterministic;
+    indices within each chunk are returned sorted so per-chunk execution
+    order is stable too.
+    """
+    count = len(weights)
+    if count == 0:
+        return []
+    chunks = max(1, min(chunks, count))
+    if chunks == 1:
+        return [list(range(count))]
+    values = [float(w) for w in weights]
+    if any(w < 0 for w in values):
+        raise ValueError("weights must be non-negative")
+    # Decreasing weight, index ascending on ties: deterministic LPT order.
+    order = sorted(range(count), key=lambda i: (-values[i], i))
+    loads = [0.0] * chunks
+    groups: list[list[int]] = [[] for _ in range(chunks)]
+    for item in order:
+        target = min(range(chunks), key=lambda c: (loads[c], c))
+        groups[target].append(item)
+        loads[target] += values[item]
+    return [sorted(group) for group in groups if group]
+
 # The fork backend publishes the work here in the parent immediately before
 # creating the pool; forked children inherit it by copy-on-write, so the
 # function and items are never pickled (only small index lists are).
@@ -130,12 +166,22 @@ def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
     return [fn(item) for item in items]
 
 
+def _reassemble(chunk_results: Sequence[list], groups: Sequence[Sequence[int]], count: int) -> list:
+    """Put per-chunk results back in input order (chunks may interleave)."""
+    out: list = [None] * count
+    for group, results in zip(groups, chunk_results):
+        for index, result in zip(group, results):
+            out[index] = result
+    return out
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     jobs: int | None = 1,
     backend: str = "auto",
     chunks_per_worker: int = 4,
+    weights: Sequence[float] | None = None,
 ) -> list[R]:
     """Apply ``fn`` to every item, possibly across workers; order preserved.
 
@@ -146,12 +192,22 @@ def parallel_map(
         backend: one of :data:`BACKENDS`.
         chunks_per_worker: work-splitting granularity for process pools
             (more chunks = better balance, more dispatch overhead).
+        weights: optional per-item cost estimates.  When given, process
+            chunks are balanced by total weight (:func:`chunk_indices_weighted`)
+            instead of item count — the difference between a clean scaling
+            curve and one straggler chunk when items are heterogeneous
+            (e.g. reconstruction shards of very different block sizes).
+            Results still return in input order regardless.
 
     Returns:
         ``[fn(item) for item in items]`` — the serial semantics, whatever
         the backend.
     """
     items = list(items)
+    if weights is not None and len(weights) != len(items):
+        raise ValueError(
+            f"got {len(weights)} weights for {len(items)} items"
+        )
     jobs = min(effective_jobs(jobs), max(1, len(items)))
     backend = resolve_backend(backend, jobs)
     if backend == "serial" or len(items) <= 1:
@@ -162,7 +218,12 @@ def parallel_map(
             return list(pool.map(fn, items))
 
     # backend == "process"
-    ranges = chunk_indices(len(items), jobs * max(1, chunks_per_worker))
+    if weights is None:
+        ranges: Sequence[Sequence[int]] = chunk_indices(
+            len(items), jobs * max(1, chunks_per_worker)
+        )
+    else:
+        ranges = chunk_indices_weighted(weights, jobs * max(1, chunks_per_worker))
     if fork_available():
         context = multiprocessing.get_context("fork")
         _FORK_PAYLOAD["fn"] = fn
@@ -181,7 +242,7 @@ def parallel_map(
             return _serial_map(fn, items)
         finally:
             _FORK_PAYLOAD.clear()
-        return [result for chunk in chunk_results for result in chunk]
+        return _reassemble(chunk_results, ranges, len(items))
 
     # Spawn-only platform: the function and items must survive pickling.
     try:
@@ -205,4 +266,4 @@ def parallel_map(
             stacklevel=2,
         )
         return _serial_map(fn, items)
-    return [result for chunk in chunk_results for result in chunk]
+    return _reassemble(chunk_results, ranges, len(items))

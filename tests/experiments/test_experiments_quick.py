@@ -128,6 +128,18 @@ class TestExtensionExperiments:
         assert result.headline["epsilon_charged"] == pytest.approx(12.1)
         assert result.figures
 
+    def test_e20_sharded_reconstruction(self):
+        result = run_experiment("E20", quick=True)
+        # The sharded pipeline reconstructs the multi-block population...
+        assert result.headline["agreement"] >= 0.95
+        assert result.headline["blocks"] == 320
+        # ...mostly on the l2 fast path, with only a minority of shards
+        # needing the LP...
+        assert result.headline["certified_fraction"] >= 0.5
+        # ...and the joined bits are identical across worker counts.
+        assert result.headline["jobs_invariant"] is True
+        assert result.headline["records_per_second"] > 0
+
 
 class TestFigures:
     def test_e3_and_e8_carry_figures(self):

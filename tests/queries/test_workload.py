@@ -1,8 +1,11 @@
 """Tests for query-workload generators."""
 
+import numpy as np
 import pytest
+import scipy.sparse
 
 from repro.queries.workload import (
+    Workload,
     all_subset_queries,
     random_subset_queries,
     singleton_queries,
@@ -58,6 +61,69 @@ class TestRandomSubsetQueries:
             random_subset_queries(5, 0)
         with pytest.raises(ValueError):
             random_subset_queries(5, 5, density=1.0)
+
+
+class TestCsrBackedWorkloads:
+    def _workload(self, m=12, n=8, seed=0):
+        return Workload.random(n, m, rng=seed)
+
+    def test_from_csr_round_trips(self):
+        reference = self._workload()
+        rebuilt = Workload.from_csr(reference.matrix(sparse=True))
+        assert rebuilt.m == reference.m and rebuilt.n == reference.n
+        assert np.array_equal(rebuilt.masks, reference.masks)
+
+    def test_from_csr_is_lazy_about_masks(self):
+        csr = scipy.sparse.csr_matrix(np.eye(4))
+        workload = Workload.from_csr(csr)
+        # The dense boolean view is only built when something asks for it.
+        assert workload._masks is None
+        assert workload.masks.shape == (4, 4)
+        assert workload._masks is not None
+
+    def test_from_csr_shares_assembly_without_copy(self):
+        csr = scipy.sparse.csr_matrix(np.eye(3))
+        workload = Workload.from_csr(csr, copy=False)
+        # copy=False shares the underlying CSR buffers with the input.
+        assert np.shares_memory(workload.matrix(sparse=True).data, csr.data)
+
+    def test_from_csr_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload.from_csr(scipy.sparse.csr_matrix((0, 5)))
+        with pytest.raises(ValueError):
+            Workload.from_csr(scipy.sparse.csr_matrix((5, 0)))
+
+    def test_select_columns_slices_queries(self):
+        workload = self._workload(seed=1)
+        idx = np.array([1, 3, 6])
+        sliced = workload.select_columns(idx)
+        assert sliced.m == workload.m and sliced.n == 3
+        assert np.array_equal(sliced.masks, workload.masks[:, idx])
+
+    def test_select_rows_slices_queries(self):
+        workload = self._workload(seed=2)
+        idx = np.array([0, 5, 9])
+        sliced = workload.select_rows(idx)
+        assert sliced.m == 3 and sliced.n == workload.n
+        assert np.array_equal(sliced.masks, workload.masks[idx])
+
+    def test_slices_answer_consistently(self):
+        # Answers of a column-slice on the restricted data match the full
+        # workload's answers restricted to queries supported inside the slice.
+        workload = self._workload(m=20, n=10, seed=3)
+        data = np.arange(10) % 2
+        idx = np.arange(10)  # identity slice: answers must be identical
+        assert np.array_equal(
+            workload.select_columns(idx).true_answers(data),
+            workload.true_answers(data),
+        )
+
+    def test_slice_validation(self):
+        workload = self._workload()
+        with pytest.raises(ValueError):
+            workload.select_columns(np.array([], dtype=np.intp))
+        with pytest.raises(ValueError):
+            workload.select_rows(np.zeros((2, 2), dtype=np.intp))
 
 
 class TestSingletonQueries:

@@ -1,0 +1,146 @@
+"""The first-order l2 decoder: agreement with the LP, certificates, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.queries.mechanism import BoundedNoiseAnswerer, ExactAnswerer
+from repro.queries.workload import Workload
+from repro.reconstruction.l2_decode import (
+    L2ReconstructionResult,
+    _lipschitz_bound,
+    l2_decode,
+    l2_decode_batch,
+)
+from repro.reconstruction.lp_decode import reconstruct_from_answers
+from repro.utils.rng import derive_rng
+
+
+def _transcript(n, m, seed, alpha=0.0, density=0.5):
+    rng = derive_rng(seed, "l2-test", n)
+    data = rng.integers(0, 2, size=n)
+    workload = Workload.random(n, m, density=density, rng=rng)
+    if alpha:
+        answers = BoundedNoiseAnswerer(data, alpha=alpha, rng=rng).answer_workload(
+            workload
+        )
+    else:
+        answers = ExactAnswerer(data).answer_workload(workload)
+    return workload, data, answers.astype(float)
+
+
+class TestL2Decode:
+    def test_exact_answers_recovered(self):
+        workload, data, answers = _transcript(64, 512, seed=0)
+        result = l2_decode(workload, answers, alpha=0.5)
+        assert result.agreement_with(data) == 1.0
+        assert result.certified
+        assert result.max_residual <= 0.5
+
+    def test_bounded_noise_recovered(self):
+        workload, data, answers = _transcript(128, 1024, seed=1, alpha=2.0)
+        result = l2_decode(workload, answers, alpha=2.0)
+        assert result.agreement_with(data) >= 0.95
+
+    def test_agrees_with_lp_in_the_sparse_regime(self):
+        # The KRS claim: the projection decodes wherever the LP decodes.
+        n = 256
+        workload, data, answers = _transcript(
+            n, 8 * n, seed=2, alpha=2.0, density=32.0 / n
+        )
+        l2 = l2_decode(workload, answers, alpha=2.0)
+        lp = reconstruct_from_answers(workload, answers, alpha=2.0)
+        assert l2.agreement_with(data) >= 0.95
+        assert lp.agreement_with(data) >= 0.95
+        # Both decoders agree with each other at least as well as either
+        # agrees with the truth.
+        both = float((l2.reconstruction == lp.reconstruction).mean())
+        assert both >= 0.95
+
+    def test_certificate_is_the_feasibility_condition(self):
+        workload, data, answers = _transcript(32, 256, seed=3)
+        result = l2_decode(workload, answers, alpha=0.25)
+        matrix = workload.matrix(sparse=True)
+        residual = np.max(
+            np.abs(matrix @ result.reconstruction.astype(float) - answers)
+        )
+        assert result.max_residual == pytest.approx(float(residual))
+        assert result.certified == (residual <= 0.25)
+
+    def test_no_alpha_means_nothing_to_certify(self):
+        workload, _, answers = _transcript(32, 256, seed=4)
+        result = l2_decode(workload, answers)
+        assert not result.certified
+        assert np.isnan(result.alpha)
+
+    def test_deterministic_given_seed(self):
+        workload, _, answers = _transcript(64, 512, seed=5, alpha=1.0)
+        runs = [
+            l2_decode(workload, answers, alpha=1.0, lipschitz="power", rng=7)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].reconstruction, runs[1].reconstruction)
+        assert np.array_equal(runs[0].fractional, runs[1].fractional)
+
+    def test_explicit_lipschitz_accepted(self):
+        workload, data, answers = _transcript(32, 256, seed=6)
+        bound = _lipschitz_bound(workload.matrix(sparse=True))
+        result = l2_decode(workload, answers, alpha=0.5, lipschitz=bound)
+        assert result.agreement_with(data) == 1.0
+
+    def test_validation(self):
+        workload, _, answers = _transcript(16, 64, seed=7)
+        with pytest.raises(ValueError):
+            l2_decode(workload, answers[:-1])
+        with pytest.raises(ValueError):
+            l2_decode(workload, answers, max_iters=0)
+        with pytest.raises(ValueError):
+            l2_decode(workload, answers, reg=-1.0)
+        with pytest.raises(ValueError):
+            l2_decode(workload, answers, lipschitz="bogus")
+        with pytest.raises(ValueError):
+            l2_decode(workload, answers, lipschitz=-1.0)
+
+    def test_result_bookkeeping(self):
+        workload, data, answers = _transcript(48, 384, seed=8)
+        result = l2_decode(workload, answers, alpha=0.5)
+        assert isinstance(result, L2ReconstructionResult)
+        assert result.queries_used == 384
+        assert result.iterations >= 1
+        assert result.hamming_distance(data) == 0
+
+
+class TestL2DecodeBatch:
+    def _batch(self, k, m, b, seed):
+        rng = derive_rng(seed, "l2-batch")
+        systems = (rng.random((k, m, b)) < 0.5).astype(float)
+        # Re-draw all-zero rows so every query is informative.
+        empty = ~systems.any(axis=2)
+        while empty.any():
+            systems[empty] = (rng.random((int(empty.sum()), b)) < 0.5).astype(float)
+            empty = ~systems.any(axis=2)
+        data = rng.integers(0, 2, size=(k, b))
+        answers = np.einsum("kmb,kb->km", systems, data.astype(float))
+        return systems, data, answers
+
+    def test_exact_batch_recovered(self):
+        systems, data, answers = self._batch(20, 64, 16, seed=0)
+        bits, fractional, residuals = l2_decode_batch(systems, answers, alpha=0.5)
+        assert np.array_equal(bits, data)
+        assert (residuals <= 0.5).all()
+        assert fractional.shape == bits.shape
+
+    def test_batch_matches_single_block_decode(self):
+        # Each block's trajectory must be independent of its batch-mates:
+        # decoding a block alone gives the same bits as decoding it in a
+        # stack of 20.
+        systems, _, answers = self._batch(20, 64, 16, seed=1)
+        bits, _, _ = l2_decode_batch(systems, answers, alpha=0.5)
+        solo_bits, _, _ = l2_decode_batch(systems[3:4], answers[3:4], alpha=0.5)
+        assert np.array_equal(bits[3], solo_bits[0])
+
+    def test_validation(self):
+        systems, _, answers = self._batch(2, 8, 4, seed=2)
+        with pytest.raises(ValueError):
+            l2_decode_batch(systems[0], answers)
+        with pytest.raises(ValueError):
+            l2_decode_batch(systems, answers[:, :-1])

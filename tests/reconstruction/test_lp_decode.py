@@ -5,7 +5,13 @@ import pytest
 
 from repro.queries.mechanism import BoundedNoiseAnswerer, ExactAnswerer, LaplaceAnswerer
 from repro.queries.workload import Workload, random_subset_queries
-from repro.reconstruction.lp_decode import lp_reconstruction, reconstruct_from_answers
+from repro.reconstruction.lp_decode import (
+    DEFAULT_LP_SOLVER,
+    LpSolverOptions,
+    _resolve_options,
+    lp_reconstruction,
+    reconstruct_from_answers,
+)
 
 
 class TestLpReconstruction:
@@ -144,3 +150,112 @@ class TestSparsePath:
         data = np.zeros(8, dtype=int)
         with pytest.raises(ValueError):
             lp_reconstruction(ExactAnswerer(data), solver="not-a-solver")
+
+
+class TestWarmStart:
+    def _transcript(self, n=48, seed=30):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=n)
+        workload = Workload.random(n, 8 * n, rng=rng)
+        answers = ExactAnswerer(data).answer_workload(workload).astype(float)
+        return workload, data, answers
+
+    def test_feasible_warm_start_is_the_certificate(self):
+        # A warm start that already meets every constraint is itself a
+        # solution of the zero-objective feasibility LP — it must come back
+        # verbatim, without a solve.
+        workload, data, answers = self._transcript()
+        start = data.astype(float)
+        result = reconstruct_from_answers(
+            workload, answers, alpha=0.5, warm_start=start
+        )
+        assert np.array_equal(result.fractional, start)
+        assert result.agreement_with(data) == 1.0
+
+    def test_warm_start_clipped_to_the_box(self):
+        # Out-of-box coordinates are clipped before the certificate check;
+        # the clipped point here equals the truth, so it certifies.
+        workload, data, answers = self._transcript(seed=31)
+        start = data.astype(float) * 2.0 - 0.5  # -0.5 / 1.5 -> clips to 0 / 1
+        result = reconstruct_from_answers(
+            workload, answers, alpha=0.5, warm_start=start
+        )
+        assert np.array_equal(result.fractional, data.astype(float))
+
+    def test_infeasible_warm_start_falls_through_to_the_solver(self):
+        workload, data, answers = self._transcript(seed=32)
+        wrong = 1.0 - data.astype(float)
+        result = reconstruct_from_answers(
+            workload, answers, alpha=0.0, warm_start=wrong
+        )
+        cold = reconstruct_from_answers(workload, answers, alpha=0.0)
+        assert np.array_equal(result.reconstruction, cold.reconstruction)
+        assert result.agreement_with(data) >= 0.98
+
+    def test_least_l1_ignores_warm_start(self):
+        # Without a finite alpha there is no certificate to check; the
+        # least-l1 solve is warm-start-free and bitwise unaffected.
+        workload, data, answers = self._transcript(seed=33)
+        with_start = reconstruct_from_answers(
+            workload, answers, warm_start=data.astype(float)
+        )
+        without = reconstruct_from_answers(workload, answers)
+        assert np.array_equal(with_start.fractional, without.fractional)
+        assert with_start.mode == "least-l1"
+
+    def test_warm_start_shape_checked(self):
+        workload, _, answers = self._transcript(seed=34)
+        with pytest.raises(ValueError, match="warm_start"):
+            reconstruct_from_answers(
+                workload, answers, alpha=0.5, warm_start=np.zeros(3)
+            )
+
+
+class TestLpSolverOptions:
+    def test_defaults(self):
+        options = LpSolverOptions()
+        kwargs = options.linprog_kwargs()
+        assert kwargs["method"] == DEFAULT_LP_SOLVER
+        assert kwargs["options"] == {"presolve": True}
+
+    def test_time_limit_plumbed(self):
+        kwargs = LpSolverOptions(time_limit=30.0, presolve=False).linprog_kwargs()
+        assert kwargs["options"] == {"presolve": False, "time_limit": 30.0}
+
+    def test_invalid_time_limit_rejected(self):
+        with pytest.raises(ValueError, match="time_limit"):
+            LpSolverOptions(time_limit=0.0)
+        with pytest.raises(ValueError, match="time_limit"):
+            LpSolverOptions(time_limit=-5.0)
+
+    def test_explicit_options_beat_the_legacy_solver_knob(self):
+        options = LpSolverOptions(method="highs-ds")
+        assert _resolve_options("highs-ipm", options) is options
+        assert _resolve_options("highs", None).method == "highs"
+        assert _resolve_options(None, None) == LpSolverOptions()
+
+    def test_options_reach_the_solver(self):
+        rng = np.random.default_rng(35)
+        n = 32
+        data = rng.integers(0, 2, size=n)
+        workload = Workload.random(n, 8 * n, rng=rng)
+        answers = ExactAnswerer(data).answer_workload(workload).astype(float)
+        tuned = reconstruct_from_answers(
+            workload,
+            answers,
+            alpha=0.0,
+            options=LpSolverOptions(method="highs", presolve=False),
+        )
+        default = reconstruct_from_answers(workload, answers, alpha=0.0)
+        # Same transcript, same decoded bits, whatever the algorithm.
+        assert np.array_equal(tuned.reconstruction, default.reconstruction)
+
+    def test_unknown_method_surfaces(self):
+        rng = np.random.default_rng(36)
+        data = rng.integers(0, 2, size=8)
+        workload = Workload.random(8, 32, rng=rng)
+        answers = ExactAnswerer(data).answer_workload(workload).astype(float)
+        with pytest.raises(ValueError):
+            reconstruct_from_answers(
+                workload, answers, options=LpSolverOptions(method="not-a-solver")
+            )

@@ -1,0 +1,209 @@
+"""Sharded reconstruction: partition discovery, equivalence, determinism."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.workload import Workload
+from repro.reconstruction.lp_decode import reconstruct_from_answers
+from repro.reconstruction.sharding import (
+    BlockPartition,
+    ShardedReconstructor,
+    ShardedReconstructionResult,
+)
+from repro.utils.rng import derive_rng
+
+
+def _block_separable(
+    block_sizes, seed, queries_factor=3, permute=False, singletons=False
+):
+    """A block-diagonal workload over blocks of the given sizes.
+
+    Returns (workload, data, exact_answers, labels); with ``permute`` the
+    positions of different blocks are interleaved, so discovery cannot rely
+    on contiguity.  ``singletons`` adds the per-position singleton queries,
+    which (with exact answers and alpha < 0.5) make the transcript determine
+    the data uniquely — any feasible point rounds to the truth.
+    """
+    rng = derive_rng(seed, "sharding-test", tuple(block_sizes))
+    mats, bits, labels = [], [], []
+    for index, b in enumerate(block_sizes):
+        m = queries_factor * b
+        masks = rng.random((m, b)) < 0.5
+        empty = ~masks.any(axis=1)
+        while empty.any():
+            masks[empty] = rng.random((int(empty.sum()), b)) < 0.5
+            empty = ~masks.any(axis=1)
+        if singletons:
+            masks = np.vstack([np.eye(b, dtype=bool), masks])
+        mats.append(scipy.sparse.csr_matrix(masks.astype(np.float64)))
+        bits.append(rng.integers(0, 2, size=b))
+        labels.extend([index] * b)
+    matrix = scipy.sparse.block_diag(mats, format="csr")
+    data = np.concatenate(bits)
+    labels = np.asarray(labels)
+    if permute:
+        permutation = rng.permutation(matrix.shape[1])
+        matrix = matrix[:, permutation].tocsr()
+        data = data[permutation]
+        labels = labels[permutation]
+    workload = Workload.from_csr(matrix, copy=False)
+    return workload, data, workload.true_answers(data).astype(float), labels
+
+
+class TestBlockPartition:
+    def test_discovers_diagonal_blocks(self):
+        workload, _, _, labels = _block_separable([4, 6, 3], seed=0)
+        partition = BlockPartition.from_workload(workload)
+        assert partition.num_blocks == 3
+        assert partition.block_sizes.tolist() == [4, 6, 3]
+        assert len(partition.unconstrained) == 0
+        for block, query_rows in zip(partition.blocks, partition.query_blocks):
+            # Every assigned query's support sits inside its block.
+            sub = workload.matrix(sparse=True)[query_rows]
+            assert set(sub.indices).issubset(set(block.tolist()))
+
+    def test_discovery_survives_position_interleaving(self):
+        workload, _, _, labels = _block_separable([5, 5, 5], seed=1, permute=True)
+        partition = BlockPartition.from_workload(workload)
+        assert partition.num_blocks == 3
+        for block in partition.blocks:
+            # Each discovered block is one original block, whatever the order.
+            assert len(set(labels[block].tolist())) == 1
+
+    def test_unconstrained_positions_reported(self):
+        # Only 3 of 5 positions are ever queried.
+        masks = np.array([[1, 1, 0, 0, 0], [0, 1, 0, 1, 0]], dtype=bool)
+        partition = BlockPartition.from_workload(Workload(masks))
+        assert partition.num_blocks == 1
+        assert partition.unconstrained.tolist() == [2, 4]
+
+    def test_single_connected_workload_is_one_block(self):
+        workload = Workload.random(16, 64, rng=2)
+        partition = BlockPartition.from_workload(workload)
+        assert partition.num_blocks == 1
+        assert len(partition.blocks[0]) == 16
+
+    def test_from_labels_matches_discovery(self):
+        workload, _, _, labels = _block_separable([4, 4, 4], seed=3)
+        discovered = BlockPartition.from_workload(workload)
+        labeled = BlockPartition.from_labels(labels, workload)
+        assert labeled.num_blocks == discovered.num_blocks
+        for a, b in zip(labeled.blocks, discovered.blocks):
+            assert np.array_equal(a, b)
+        for a, b in zip(labeled.query_blocks, discovered.query_blocks):
+            assert np.array_equal(a, b)
+
+    def test_from_labels_rejects_spanning_query(self):
+        workload, _, _, _ = _block_separable([4, 4], seed=4)
+        wrong = np.zeros(workload.n, dtype=int)
+        wrong[2:] = 1  # splits the first true block
+        with pytest.raises(ValueError, match="spans multiple blocks"):
+            BlockPartition.from_labels(wrong, workload)
+
+    def test_empty_query_rejected(self):
+        matrix = scipy.sparse.csr_matrix(
+            np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        )
+        with pytest.raises(ValueError, match="empty support"):
+            BlockPartition.from_workload(Workload.from_csr(matrix))
+
+
+class TestShardedReconstructor:
+    @given(
+        seed=st.integers(0, 100),
+        block_sizes=st.lists(st.integers(2, 10), min_size=1, max_size=5),
+        permute=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sharded_equals_whole_population(self, seed, block_sizes, permute):
+        """On a block-separable transcript that determines the data uniquely,
+        the sharded decode and the whole-population decode recover the same
+        bits.  Singleton queries plus exact answers at alpha < 0.5 pin every
+        position: any feasible point rounds to the truth, so both decoders
+        must land on it (without this pinning the feasibility polytope of a
+        tiny block can contain several integer points and the two decoders
+        may legitimately pick different ones)."""
+        workload, data, answers, _ = _block_separable(
+            block_sizes, seed, permute=permute, singletons=True
+        )
+        sharded = ShardedReconstructor(alpha=0.25).reconstruct(workload, answers)
+        whole = reconstruct_from_answers(workload, answers, alpha=0.25)
+        assert np.array_equal(sharded.reconstruction, whole.reconstruction)
+        assert sharded.agreement_with(data) == 1.0
+
+    def test_bit_identical_across_jobs_and_backends(self):
+        workload, data, answers, _ = _block_separable([6] * 12, seed=5)
+        noisy = answers + derive_rng(5, "noise").integers(-1, 2, size=len(answers))
+        reconstructor = ShardedReconstructor(alpha=1.0)
+        reference = reconstructor.reconstruct(workload, noisy, jobs=1, seed=9)
+        for jobs, backend in ((2, "auto"), (4, "process"), (3, "thread")):
+            other = reconstructor.reconstruct(
+                workload, noisy, jobs=jobs, backend=backend, seed=9
+            )
+            assert np.array_equal(reference.reconstruction, other.reconstruction)
+            assert reference.shard_reports == other.shard_reports
+
+    def test_escalation_engages_and_recovers(self):
+        # ±1 noise at a tight certificate: some shards must fail the l2
+        # certificate and go through the LP, and the join still decodes.
+        workload, data, answers, _ = _block_separable([8] * 20, seed=6)
+        noisy = answers + derive_rng(6, "noise").integers(-1, 2, size=len(answers))
+        result = ShardedReconstructor(alpha=1.0).reconstruct(workload, noisy)
+        assert result.agreement_with(data) >= 0.95
+        assert result.certified + result.escalated >= result.blocks
+        assert result.blocks == 20
+
+    def test_escalation_can_be_disabled(self):
+        workload, _, answers, _ = _block_separable([8] * 6, seed=7)
+        noisy = answers + derive_rng(7, "noise").integers(-1, 2, size=len(answers))
+        result = ShardedReconstructor(alpha=1.0, escalate=False).reconstruct(
+            workload, noisy
+        )
+        assert result.escalated == 0
+
+    def test_unconstrained_positions_decode_to_zero(self):
+        masks = np.zeros((4, 6), dtype=bool)
+        masks[:, :4] = np.array(
+            [[1, 1, 0, 0], [0, 1, 1, 0], [1, 0, 0, 1], [0, 0, 1, 1]], dtype=bool
+        )
+        workload = Workload(masks)
+        data = np.array([1, 0, 1, 1, 0, 1])
+        answers = workload.true_answers(data).astype(float)
+        result = ShardedReconstructor(alpha=0.5).reconstruct(workload, answers)
+        assert result.reconstruction[4] == 0
+        assert result.reconstruction[5] == 0
+
+    def test_shard_reports_cover_every_block(self):
+        workload, _, answers, _ = _block_separable([3, 5, 7], seed=8)
+        result = ShardedReconstructor(alpha=0.5).reconstruct(workload, answers)
+        assert isinstance(result, ShardedReconstructionResult)
+        assert [r.block for r in result.shard_reports] == [0, 1, 2]
+        assert [r.size for r in result.shard_reports] == [3, 5, 7]
+        assert [r.queries for r in result.shard_reports] == [9, 15, 21]
+        assert result.max_residual <= 0.5
+
+    def test_oversized_shards_take_the_sparse_path(self):
+        # dense_limit=1 forces every shard through the single-shard branch;
+        # the bits must match the batched pipeline exactly.
+        workload, _, answers, _ = _block_separable([6] * 8, seed=9)
+        batched = ShardedReconstructor(alpha=0.5).reconstruct(workload, answers)
+        sparse = ShardedReconstructor(alpha=0.5, dense_limit=1).reconstruct(
+            workload, answers
+        )
+        assert np.array_equal(batched.reconstruction, sparse.reconstruction)
+
+    def test_validation(self):
+        workload, _, answers, _ = _block_separable([4, 4], seed=10)
+        reconstructor = ShardedReconstructor(alpha=0.5)
+        with pytest.raises(ValueError):
+            reconstructor.reconstruct(workload, answers[:-1])
+        other = BlockPartition.from_workload(Workload.random(5, 10, rng=0))
+        with pytest.raises(ValueError):
+            reconstructor.reconstruct(workload, answers, partition=other)
+        with pytest.raises(ValueError):
+            ShardedReconstructor(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ShardedReconstructor(batch_size=0)

@@ -156,3 +156,67 @@ class TestReconstructionAuditor:
             ReconstructionAuditor(data, audit_every=0)
         with pytest.raises(ValueError):
             ReconstructionAuditor(data, min_queries=0)
+        with pytest.raises(ValueError, match="screen mode"):
+            ReconstructionAuditor(data, screen="l1")
+        with pytest.raises(ValueError, match="screen_margin"):
+            ReconstructionAuditor(data, screen_margin=-0.1)
+
+
+class TestL2Screening:
+    """The l2 screening pass: cheap by default, LP-identical when it counts."""
+
+    def _attack_transcript(self, n=64, m=None, seed=0):
+        data = derive_rng(seed, "data").integers(0, 2, size=n)
+        workload = Workload.random(n, m or 2 * n, rng=derive_rng(seed, "w"))
+        answers = ExactAnswerer(data).answer_workload(workload)
+        log = AuditLog()
+        _log_workload(log, "attacker", workload, answers)
+        return data, log
+
+    def _auditors(self, data, **overrides):
+        kwargs = dict(
+            agreement_threshold=0.9, audit_every=16, min_queries=32, alpha=0.0
+        )
+        kwargs.update(overrides)
+        return (
+            ReconstructionAuditor(data, screen="lp", **kwargs),
+            ReconstructionAuditor(data, screen="l2", **kwargs),
+        )
+
+    def test_verdict_matches_lp_auditor_on_attacker(self):
+        # A reconstructible transcript lands near the threshold, so the
+        # screen escalates and the verdict is decided by the exact same LP
+        # solve — same agreement, same flag.
+        data, log = self._attack_transcript()
+        lp_auditor, l2_auditor = self._auditors(data)
+        lp_report = lp_auditor.audit(log, "attacker")
+        l2_report = l2_auditor.audit(log, "attacker")
+        assert l2_report.flagged == lp_report.flagged is True
+        assert l2_report.agreement == lp_report.agreement
+        assert l2_report.mode == lp_report.mode  # the LP's mode, not l2-screen
+        assert l2_report.escalated is True
+        assert lp_report.escalated is False
+
+    def test_cheap_pass_skips_the_lp(self):
+        # m = n/4: nowhere near reconstructible, so the l2 agreement stays
+        # clear of the threshold-minus-margin bar and the pass never runs
+        # an LP.
+        data = derive_rng(11, "data").integers(0, 2, size=256)
+        workload = Workload.random(256, 64, rng=derive_rng(11, "w"))
+        answers = ExactAnswerer(data).answer_workload(workload)
+        log = AuditLog()
+        _log_workload(log, "benign", workload, answers)
+        _, l2_auditor = self._auditors(data, min_queries=48)
+        report = l2_auditor.audit(log, "benign")
+        assert report.mode == "l2-screen"
+        assert report.escalated is False
+        assert not report.flagged
+
+    def test_margin_zero_still_escalates_at_the_bar(self):
+        # screen_margin=0 trusts the screen right up to the threshold, but
+        # an at-threshold screen must still be confirmed by the LP.
+        data, log = self._attack_transcript(seed=1)
+        _, l2_auditor = self._auditors(data, screen_margin=0.0)
+        report = l2_auditor.audit(log, "attacker")
+        assert report.escalated is True
+        assert report.flagged

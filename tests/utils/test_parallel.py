@@ -9,6 +9,7 @@ import pytest
 from repro.utils.parallel import (
     BACKENDS,
     chunk_indices,
+    chunk_indices_weighted,
     effective_jobs,
     fork_available,
     parallel_map,
@@ -39,6 +40,43 @@ class TestChunkIndices:
     def test_balanced(self):
         sizes = [len(r) for r in chunk_indices(10, 3)]
         assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkIndicesWeighted:
+    def test_covers_every_index_once(self):
+        for count in (0, 1, 5, 17, 100):
+            for chunks in (1, 2, 3, 7, 200):
+                groups = chunk_indices_weighted([1.0] * count, chunks)
+                flattened = sorted(i for g in groups for i in g)
+                assert flattened == list(range(count))
+
+    def test_groups_are_sorted_within(self):
+        groups = chunk_indices_weighted([3.0, 1.0, 4.0, 1.0, 5.0, 9.0], 2)
+        for group in groups:
+            assert group == sorted(group)
+
+    def test_deterministic(self):
+        weights = [5.0, 1.0, 3.0, 3.0, 1.0, 5.0, 2.0]
+        assert chunk_indices_weighted(weights, 3) == chunk_indices_weighted(
+            weights, 3
+        )
+
+    def test_lpt_balances_heterogeneous_weights(self):
+        # Three big shards and six small ones over three chunks: LPT puts
+        # one big shard per chunk; contiguous equal-count chunking would
+        # serialize two big shards into one chunk.
+        weights = [9.0, 9.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        groups = chunk_indices_weighted(weights, 3)
+        loads = [sum(weights[i] for i in g) for g in groups]
+        assert max(loads) - min(loads) <= max(weights[3:])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chunk_indices_weighted([1.0, -2.0], 2)
+
+    def test_degenerate_shapes(self):
+        assert chunk_indices_weighted([], 4) == []
+        assert chunk_indices_weighted([2.0, 3.0, 4.0], 1) == [[0, 1, 2]]
 
 
 class TestResolveBackend:
@@ -96,6 +134,18 @@ class TestParallelMap:
         with pytest.raises(Exception):
             pickle.dumps(fn)
         assert parallel_map(fn, [1, 2, 3], jobs=2, backend="process") == [18, 19, 20]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_weighted_dispatch_preserves_order(self, backend):
+        items = list(range(23))
+        weights = [float(1 + (i * 7) % 11) for i in items]
+        assert parallel_map(
+            lambda x: x * x, items, jobs=3, backend=backend, weights=weights
+        ) == [x * x for x in items]
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            parallel_map(lambda x: x, [1, 2, 3], jobs=2, weights=[1.0])
 
     def test_thread_backend_actually_uses_worker_threads(self):
         seen = set()
