@@ -54,6 +54,10 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         # margin of the trip bar is re-decided by the exact LP replay, so
         # verdicts (and the agreement at trip) match the pure-LP auditor.
         screen="l2",
+        # Each pass starts from the previous pass's solution.  Verdicts are
+        # still LP-decided (least-l1 ignores the warm point), and the full
+        # headline is bit-identical to cold passes for this seed.
+        warm_start_passes=True,
     )
     # Budget generous enough that the auditor, not the ledger, is the
     # binding defense (basic composition would allow ~4x more queries).

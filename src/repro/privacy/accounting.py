@@ -29,6 +29,7 @@ shims.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -43,8 +44,10 @@ __all__ = [
     "PrivacyAccountant",
     "PrivacySpend",
     "ServiceAccountant",
+    "ShardedAccountant",
     "advanced_composition",
     "basic_composition",
+    "stable_shard",
 ]
 
 #: Slack for floating-point accumulation in budget comparisons.
@@ -561,3 +564,309 @@ class AdvancedAccountant(ServiceAccountant):
                 advanced, _delta = advanced_composition(eps, count, self.delta_prime)
                 total += min(advanced, eps * count)
         return float(total)
+
+
+def stable_shard(name: str, shards: int) -> int:
+    """Deterministic, process-independent ``name -> shard`` assignment.
+
+    BLAKE2b of the UTF-8 name reduced mod ``shards`` — no per-process hash
+    seed, so the same analyst lands on the same shard in every run, every
+    worker, and every test, which is what lets sharded components promise
+    bit-identical per-analyst behavior.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % shards
+
+
+class _EpsilonLease:
+    """One shard's leased slice of the global epsilon budget.
+
+    A strictly *leaf* lock: consumed and refilled under its own mutex and
+    never held while any other lock is acquired, so lease traffic can never
+    participate in a lock cycle.  The balance is pure admission credit —
+    the authoritative spend always lives in the per-analyst ledgers.
+    """
+
+    __slots__ = ("_lock", "balance")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.balance = 0.0
+
+    def consume(self, amount: float) -> bool:
+        """Atomically deduct ``amount`` if covered; False means reconcile."""
+        with self._lock:
+            if amount <= self.balance:
+                self.balance -= amount
+                return True
+            return False
+
+    def deposit(self, amount: float) -> None:
+        with self._lock:
+            self.balance += amount
+
+    def drain(self) -> float:
+        """Zero the balance, returning what was outstanding."""
+        with self._lock:
+            outstanding, self.balance = self.balance, 0.0
+            return outstanding
+
+
+#: Shard-count default for :class:`ShardedAccountant` (and the sharded
+#: service front end, which mirrors it).
+DEFAULT_SHARDS = 16
+
+#: Composition rules a :class:`ShardedAccountant` shard can be built with.
+SHARD_RULES = ("basic", "advanced")
+
+
+class ShardedAccountant:
+    """``S`` independent service sub-ledgers under one exact global cap.
+
+    The scaling problem with :class:`ServiceAccountant` is its single
+    re-entrant lock: every fresh query from every analyst serializes on it.
+    This accountant hash-partitions analysts across ``shards`` independent
+    :class:`ServiceAccountant` instances (via :func:`stable_shard`), so
+    per-analyst and per-shard bookkeeping contend only within a shard — the
+    request hot path never takes a global lock.
+
+    The one genuinely global constraint — ``global_epsilon`` across all
+    analysts — is enforced by *epsilon leases*: each shard holds a credit
+    balance pre-authorized by a broker, charges are debited against it
+    locally, and only when a shard's credit runs dry does it take the
+    broker lock, reclaim every outstanding lease, and re-run the **exact**
+    single-ledger check (the same ordered float sum over per-analyst
+    composed epsilons, the same tolerance, the same refusal message).
+    Refusals therefore only ever happen on the exact path, and the broker
+    grants credit strictly within ``global_epsilon`` (no tolerance), so:
+
+    * a charge accepted from a lease would also have been accepted by the
+      single ledger (the lease invariant keeps the true total <= budget);
+    * a refused charge raises a :class:`BudgetExhausted` bit-identical to
+      the one :class:`ServiceAccountant` raises at the same point;
+    * spend reads (:meth:`global_spent`, :meth:`analyst_epsilon`,
+      :meth:`total`) are reconciled exactly on every call — the leases are
+      never part of the reported ledger.
+
+    Args mirror :class:`ServiceAccountant`; ``rule`` picks the per-shard
+    composition (:data:`SHARD_RULES`), ``lease_chunk`` sizes the credit a
+    reconciliation grants (default ``global_epsilon / (4 * shards)``).
+    """
+
+    def __init__(
+        self,
+        per_analyst_epsilon: float | None = None,
+        global_epsilon: float | None = None,
+        max_queries_per_analyst: int | None = None,
+        *,
+        shards: int = DEFAULT_SHARDS,
+        rule: str = "basic",
+        delta_prime: float = 1e-6,
+        lease_chunk: float | None = None,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if rule not in SHARD_RULES:
+            raise ValueError(f"unknown rule {rule!r}; known: {SHARD_RULES}")
+        if global_epsilon is not None and global_epsilon <= 0:
+            raise ValueError("global_epsilon must be positive when set")
+        if lease_chunk is not None and lease_chunk <= 0:
+            raise ValueError("lease_chunk must be positive when set")
+        self.shards = int(shards)
+        self.rule = rule
+        self.per_analyst_epsilon = per_analyst_epsilon
+        self.global_epsilon = global_epsilon
+        self.max_queries_per_analyst = max_queries_per_analyst
+        if rule == "advanced":
+            self._shard_ledgers = tuple(
+                AdvancedAccountant(
+                    per_analyst_epsilon, None, max_queries_per_analyst, delta_prime
+                )
+                for _ in range(self.shards)
+            )
+        else:
+            self._shard_ledgers = tuple(
+                BasicAccountant(per_analyst_epsilon, None, max_queries_per_analyst)
+                for _ in range(self.shards)
+            )
+        if lease_chunk is None and global_epsilon is not None:
+            lease_chunk = global_epsilon / (4.0 * self.shards)
+        self.lease_chunk = lease_chunk
+        self._leases = tuple(_EpsilonLease() for _ in range(self.shards))
+        self._broker_lock = threading.Lock()
+        # First-charge order across all shards: the exact global check must
+        # sum composed epsilons in the same order ServiceAccountant's
+        # ledger dict iterates, or float rounding breaks bit-identity.
+        self._order: list[tuple[int, str]] = []
+        self._known: dict[str, int] = {}
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_of(self, analyst: str) -> int:
+        """The shard the named analyst's ledger lives on."""
+        return stable_shard(analyst, self.shards)
+
+    def shard_ledger(self, index: int) -> ServiceAccountant:
+        """The per-shard sub-accountant (diagnostics and tests)."""
+        return self._shard_ledgers[index]
+
+    def _register(self, analyst: str, index: int) -> None:
+        # Lock-free fast path: registered analysts are never removed, so a
+        # plain dict read suffices after the first charge attempt.
+        if analyst not in self._known:
+            with self._broker_lock:
+                if analyst not in self._known:
+                    self._known[analyst] = index
+                    self._order.append((index, analyst))
+
+    # -- charging -----------------------------------------------------------
+
+    def charge(self, analyst: str, count: int, epsilon_per_query: float) -> None:
+        """Atomically charge ``count`` queries at ``epsilon_per_query`` each.
+
+        Semantics of :meth:`ServiceAccountant.charge`, verdicts included:
+        per-analyst refusals come from the analyst's (shard-local) ledger,
+        global refusals from the exact reconciliation path.  Only the
+        owning shard's lock is taken unless the shard's lease runs dry.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if epsilon_per_query < 0:
+            raise ValueError("epsilon_per_query must be non-negative")
+        if count == 0:
+            return
+        index = self.shard_of(analyst)
+        shard = self._shard_ledgers[index]
+        self._register(analyst, index)
+        with shard._lock:
+            ledger = shard._ledger_for(analyst)
+            before = ledger.epsilon_composed
+            ledger.reserve(count, epsilon_per_query, analyst=analyst)
+            delta = ledger.epsilon_composed - before
+            if self.global_epsilon is not None and not self._leases[index].consume(
+                delta
+            ):
+                try:
+                    self._reconcile_charge(index, analyst, count, epsilon_per_query, delta)
+                except BudgetExhausted:
+                    ledger.rollback(count, epsilon_per_query)
+                    raise
+            # Mirror into the shard's own single ledger so shard totals and
+            # queries_charged aggregate without walking analyst ledgers.
+            PrivacyAccountant.reserve(shard, count, epsilon_per_query)
+
+    def _reconcile_charge(
+        self, index: int, analyst: str, count: int, epsilon_per_query: float, delta: float
+    ) -> None:
+        """Exact global check at lease exhaustion; refill on success.
+
+        Reclaims every outstanding lease, recomputes the global total the
+        way the single ledger does (ordered float sum, charge already
+        reserved), and refuses with the identical :class:`BudgetExhausted`
+        when it crosses ``global_epsilon``.  On success the calling shard
+        is granted a fresh credit chunk, capped so that spend plus every
+        outstanding lease can never exceed the budget.
+        """
+        assert self.global_epsilon is not None
+        with self._broker_lock:
+            for lease in self._leases:
+                lease.drain()
+            grand = self._grand_total()
+            if grand > self.global_epsilon + _EPSILON_TOLERANCE:
+                raise BudgetExhausted(
+                    f"global budget: charging analyst {analyst!r} {count} x "
+                    f"eps={epsilon_per_query} would total "
+                    f"{grand:.4f} > budget {self.global_epsilon}",
+                    analyst=analyst,
+                    scope="global",
+                    requested=delta,
+                    budget=self.global_epsilon,
+                    spent=grand - delta,
+                )
+            headroom = max(0.0, self.global_epsilon - grand)
+            self._leases[index].deposit(min(self.lease_chunk or headroom, headroom))
+
+    def _grand_total(self) -> float:
+        """Ordered exact sum of per-analyst composed epsilons.
+
+        Same iteration order (first charge attempt) and same ``sum``
+        semantics as ``ServiceAccountant.global_spent`` — freshly created
+        ledgers contribute an exact ``0.0``, so including them is bit-safe.
+        """
+        return sum(
+            ledger.epsilon_composed
+            for index, analyst in self._order
+            if (ledger := self._shard_ledgers[index]._ledgers.get(analyst)) is not None
+        )
+
+    def refund(self, analyst: str, count: int, epsilon_per_query: float) -> None:
+        """Return a charge to the budgets (inverse of :meth:`charge`)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        index = self.shard_of(analyst)
+        shard = self._shard_ledgers[index]
+        with shard._lock:
+            ledger = shard._ledgers.get(analyst)
+            if ledger is None:
+                raise ValueError(f"no charges recorded for analyst {analyst!r}")
+            before = ledger.epsilon_composed
+            ledger.rollback(count, epsilon_per_query)
+            delta = before - ledger.epsilon_composed
+            PrivacyAccountant.rollback(shard, count, epsilon_per_query)
+        if self.global_epsilon is not None and delta > 0:
+            # The freed headroom goes back to the refunding shard's lease;
+            # spend dropped by exactly delta, so the invariant holds.
+            self._leases[index].deposit(delta)
+
+    # -- read access (always exact; leases are invisible here) --------------
+
+    def analyst_queries(self, analyst: str) -> int:
+        """Queries charged to ``analyst`` so far."""
+        return self._shard_ledgers[self.shard_of(analyst)].analyst_queries(analyst)
+
+    def analyst_epsilon(self, analyst: str) -> float:
+        """``analyst``'s composed epsilon so far."""
+        return self._shard_ledgers[self.shard_of(analyst)].analyst_epsilon(analyst)
+
+    def remaining_epsilon(self, analyst: str) -> float | None:
+        """Unspent per-analyst epsilon, or ``None`` for an unlimited ledger."""
+        if self.per_analyst_epsilon is None:
+            return None
+        return self.per_analyst_epsilon - self.analyst_epsilon(analyst)
+
+    def global_spent(self) -> float:
+        """Composed epsilon across all analysts, reconciled exactly.
+
+        Bit-identical to ``ServiceAccountant.global_spent`` for the same
+        charge history: same per-analyst composed values, summed in the
+        same first-charge order.
+        """
+        with self._broker_lock:
+            return self._grand_total()
+
+    @property
+    def queries_charged(self) -> int:
+        """Unit charges recorded across every shard."""
+        return sum(shard.queries_charged for shard in self._shard_ledgers)
+
+    def total(self) -> tuple[float, float]:
+        """Aggregate (epsilon, delta) under basic composition, shard order."""
+        epsilon = 0.0
+        delta = 0.0
+        for shard in self._shard_ledgers:
+            shard_epsilon, shard_delta = shard.total()
+            epsilon += shard_epsilon
+            delta += shard_delta
+        return epsilon, delta
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shards={self.shards}, rule={self.rule!r}, "
+            f"global_spent={self.global_spent():.4f}, "
+            f"per_analyst_budget={self.per_analyst_epsilon}, "
+            f"global_budget={self.global_epsilon})"
+        )

@@ -13,7 +13,11 @@ subpackage is that interface, in-process:
   typed :class:`BudgetExhausted` refusals (``repro.service.accountant`` is
   a deprecated re-export shim);
 * :mod:`repro.service.cache` — canonical query fingerprints and the answer
-  cache that makes repeated queries free and bit-identical (consistency);
+  cache that makes repeated queries free and bit-identical (consistency),
+  plus the striped LRU cache concurrent sessions share;
+* :mod:`repro.service.sharded` — :class:`ShardedQueryServer`, the
+  hash-partitioned front end with leased global budgets, per-shard striped
+  caches, and token-bucket admission control (typed :class:`Rejected`);
 * :mod:`repro.service.audit` — the append-only audit log and the online
   :class:`ReconstructionAuditor` that replays logged transcripts through
   LP decoding and trips a per-analyst circuit breaker.
@@ -27,6 +31,8 @@ from repro.privacy.accounting import (
     BasicAccountant,
     BudgetExhausted,
     ServiceAccountant,
+    ShardedAccountant,
+    stable_shard,
 )
 from repro.service.audit import (
     AuditLog,
@@ -36,7 +42,13 @@ from repro.service.audit import (
     ReconstructionAuditor,
     ReleaseRecord,
 )
-from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.service.cache import (
+    AnalystCacheView,
+    AnswerCache,
+    StripedAnswerCache,
+    query_fingerprint,
+    workload_fingerprints,
+)
 from repro.service.server import (
     MECHANISM_FACTORIES,
     AnalystSession,
@@ -45,9 +57,16 @@ from repro.service.server import (
     make_answerer,
     per_query_epsilon,
 )
+from repro.service.sharded import (
+    RateLimit,
+    Rejected,
+    ShardedAnalystSession,
+    ShardedQueryServer,
+)
 
 __all__ = [
     "AdvancedAccountant",
+    "AnalystCacheView",
     "AnalystSession",
     "AnswerCache",
     "AuditLog",
@@ -58,12 +77,19 @@ __all__ = [
     "CircuitBreakerTripped",
     "MECHANISM_FACTORIES",
     "QueryServer",
+    "RateLimit",
     "ReconstructionAuditor",
+    "Rejected",
     "ReleaseRecord",
     "ServiceAccountant",
+    "ShardedAccountant",
+    "ShardedAnalystSession",
+    "ShardedQueryServer",
+    "StripedAnswerCache",
     "SyntheticFallback",
     "make_answerer",
     "per_query_epsilon",
     "query_fingerprint",
+    "stable_shard",
     "workload_fingerprints",
 ]

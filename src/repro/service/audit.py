@@ -138,20 +138,38 @@ class AuditLog:
         cached: bool,
         epsilon: float,
         source: str = "mechanism",
+        *,
+        packed_mask: bytes | None = None,
+        query_size: int | None = None,
     ) -> AuditRecord:
-        """Append one served query; the log assigns the sequence number."""
-        record_mask = np.asarray(mask, dtype=bool)
+        """Append one served query; the log assigns the sequence number.
+
+        The server already bit-packs each mask to fingerprint it, so the
+        hot path hands the packed bytes and query size in via the keyword
+        arguments rather than paying for a second ``packbits``/``sum`` —
+        and all mask work stays outside the log's lock either way.
+        """
+        n = int(np.asarray(mask).size)
+        if packed_mask is None or query_size is None:
+            record_mask = np.asarray(mask, dtype=bool)
+            if packed_mask is None:
+                packed_mask = np.packbits(record_mask).tobytes()
+            if query_size is None:
+                query_size = int(np.count_nonzero(record_mask))
+        answer = float(answer)
+        cached = bool(cached)
+        epsilon = float(epsilon)
         with self._lock:
             record = AuditRecord(
                 seq=self._seq,
                 analyst=analyst,
                 fingerprint=fingerprint,
-                n=int(record_mask.size),
-                query_size=int(record_mask.sum()),
-                packed_mask=np.packbits(record_mask).tobytes(),
-                answer=float(answer),
-                cached=bool(cached),
-                epsilon=float(epsilon),
+                n=n,
+                query_size=int(query_size),
+                packed_mask=packed_mask,
+                answer=answer,
+                cached=cached,
+                epsilon=epsilon,
                 timestamp=time.time(),
                 source=source,
             )
@@ -263,6 +281,16 @@ class ReconstructionAuditor:
             the same agreement value and verdict) as ``screen="lp"``.
         screen_margin: how far below the threshold the l2 agreement must
             stay for a screened pass to skip the confirming LP.
+        warm_start_passes: start each pass's decoder from the previous
+            pass's fractional solution for the same analyst.  Consecutive
+            passes differ by one ``audit_every`` window of queries, so the
+            old solution is near-optimal for the new system — the l2 screen
+            converges in a fraction of its cold iterations, and a
+            feasibility-mode LP replay can certify the warm candidate
+            outright.  Off by default: a warm-started screen can converge
+            to a *different* (equally valid) fractional point, so enabling
+            it may change screened agreement values; verdicts near the trip
+            threshold are still decided by the exact LP either way.
     """
 
     def __init__(
@@ -275,6 +303,7 @@ class ReconstructionAuditor:
         solver: str = DEFAULT_LP_SOLVER,
         screen: str = "lp",
         screen_margin: float = DEFAULT_SCREEN_MARGIN,
+        warm_start_passes: bool = False,
     ):
         data = np.asarray(data)
         self._data = _validate_binary(data, data.size)
@@ -295,10 +324,13 @@ class ReconstructionAuditor:
         self.solver = solver
         self.screen = screen
         self.screen_margin = float(screen_margin)
+        self.warm_start_passes = bool(warm_start_passes)
         self._lock = threading.Lock()
         self._audited_at: dict[str, int] = {}
         self._tripped: dict[str, AuditReport] = {}
         self._reports: list[AuditReport] = []
+        # Last pass's fractional solution per analyst (warm-start state).
+        self._warm: dict[str, np.ndarray] = {}
 
     @property
     def reports(self) -> tuple[AuditReport, ...]:
@@ -364,11 +396,17 @@ class ReconstructionAuditor:
             np.stack([record.mask() for record in unique]), copy=False
         )
         answers = np.array([record.answer for record in unique], dtype=float)
+        warm = None
+        if self.warm_start_passes:
+            with self._lock:
+                warm = self._warm.get(analyst)
         escalated = False
+        final_fractional: np.ndarray | None = None
         if self.screen == "l2":
-            screened = l2_decode(workload, answers, self.alpha)
+            screened = l2_decode(workload, answers, self.alpha, x0=warm)
             agreement = screened.agreement_with(self._data)
             mode = "l2-screen"
+            final_fractional = screened.fractional
             if agreement >= self.agreement_threshold - self.screen_margin:
                 # Near or above the trip bar: the verdict must come from
                 # the exact LP replay, warm-started with the l2 iterate.
@@ -382,12 +420,21 @@ class ReconstructionAuditor:
                 )
                 agreement = result.agreement_with(self._data)
                 mode = result.mode
+                final_fractional = result.fractional
         else:
             result = reconstruct_from_answers(
-                workload, answers, alpha=self.alpha, solver=self.solver
+                workload,
+                answers,
+                alpha=self.alpha,
+                solver=self.solver,
+                warm_start=warm,
             )
             agreement = result.agreement_with(self._data)
             mode = result.mode
+            final_fractional = result.fractional
+        if self.warm_start_passes and final_fractional is not None:
+            with self._lock:
+                self._warm[analyst] = np.asarray(final_fractional, dtype=np.float64)
         elapsed = time.perf_counter() - start
         report = AuditReport(
             analyst=analyst,

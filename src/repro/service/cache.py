@@ -28,10 +28,21 @@ from repro.queries.workload import Workload
 def query_fingerprint(query: SubsetQuery | np.ndarray) -> bytes:
     """The 16-byte canonical fingerprint of one subset query."""
     mask = query.mask if isinstance(query, SubsetQuery) else mask_arg(query)
+    return fingerprint_and_packed(mask)[0]
+
+
+def fingerprint_and_packed(mask: np.ndarray) -> tuple[bytes, bytes]:
+    """``(fingerprint, packed mask bytes)`` in one bit-packing pass.
+
+    The serving hot path needs both — the fingerprint for the cache key and
+    the packed mask for the audit record — so packing twice per request
+    would double the dominant per-ask numpy cost.
+    """
+    packed = np.packbits(mask).tobytes()
     digest = hashlib.blake2b(digest_size=16)
     digest.update(int(mask.size).to_bytes(8, "little"))
-    digest.update(np.packbits(mask).tobytes())
-    return digest.digest()
+    digest.update(packed)
+    return digest.digest(), packed
 
 
 def mask_arg(mask: np.ndarray) -> np.ndarray:
@@ -48,15 +59,31 @@ def workload_fingerprints(workload: Workload) -> list[bytes]:
     Equivalent to ``[query_fingerprint(q) for q in workload]`` but the bit
     packing runs once over the whole ``(m, n)`` matrix.
     """
+    return workload_fingerprints_packed(workload)[0]
+
+
+def workload_fingerprints_packed(
+    workload: Workload,
+) -> tuple[list[bytes], list[bytes], np.ndarray]:
+    """``(fingerprints, packed mask bytes, query sizes)`` per row.
+
+    The batched serving path logs every row it fingerprints, so it takes
+    the packed bytes and sizes from the same vectorized pass instead of
+    re-packing each mask at append time.
+    """
     packed = np.packbits(workload.masks, axis=1)
+    sizes = workload.masks.sum(axis=1)
     prefix = int(workload.n).to_bytes(8, "little")
     fingerprints = []
+    packed_rows = []
     for row in packed:
+        row_bytes = row.tobytes()
         digest = hashlib.blake2b(digest_size=16)
         digest.update(prefix)
-        digest.update(row.tobytes())
+        digest.update(row_bytes)
         fingerprints.append(digest.digest())
-    return fingerprints
+        packed_rows.append(row_bytes)
+    return fingerprints, packed_rows, sizes
 
 
 class AnswerCache:
@@ -122,3 +149,144 @@ class AnswerCache:
                         self._entries.move_to_end(fingerprint)
                 results.append(answer)
             return results
+
+    def put_many(self, entries: list[tuple[bytes, float]]) -> None:
+        """Batch :meth:`put`, one lock acquisition for the whole batch."""
+        if not entries:
+            return
+        with self._lock:
+            for fingerprint, answer in entries:
+                self._entries[fingerprint] = float(answer)
+                if self.max_entries is not None:
+                    self._entries.move_to_end(fingerprint)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+
+class StripedAnswerCache:
+    """An :class:`AnswerCache` split across independently locked stripes.
+
+    One shared dict behind one mutex serializes every concurrent session;
+    striping by fingerprint prefix makes lock contention ``1/stripes`` on
+    average while keeping each stripe an ordinary LRU :class:`AnswerCache`.
+    Fingerprints are BLAKE2b digests, so their first 8 bytes are already
+    uniformly distributed — no extra hashing needed to pick a stripe.
+
+    ``max_entries`` bounds the cache *globally*; each stripe gets an equal
+    share (rounded up), so the worst-case total is ``max_entries + stripes``.
+    """
+
+    def __init__(self, max_entries: int | None = None, stripes: int = 8):
+        if stripes < 1:
+            raise ValueError(f"stripes must be positive, got {stripes}")
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive when set")
+        self.stripes = int(stripes)
+        self.max_entries = max_entries
+        per_stripe = None if max_entries is None else -(-max_entries // self.stripes)
+        self._stripes = tuple(AnswerCache(per_stripe) for _ in range(self.stripes))
+
+    def _stripe(self, fingerprint: bytes) -> AnswerCache:
+        return self._stripes[int.from_bytes(fingerprint[:8], "little") % self.stripes]
+
+    def __len__(self) -> int:
+        return sum(len(stripe) for stripe in self._stripes)
+
+    @property
+    def hits(self) -> int:
+        return sum(stripe.hits for stripe in self._stripes)
+
+    @property
+    def misses(self) -> int:
+        return sum(stripe.misses for stripe in self._stripes)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache, across all stripes."""
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
+
+    def get(self, fingerprint: bytes) -> float | None:
+        return self._stripe(fingerprint).get(fingerprint)
+
+    def put(self, fingerprint: bytes, answer: float) -> None:
+        self._stripe(fingerprint).put(fingerprint, answer)
+
+    def lookup_many(self, fingerprints: list[bytes]) -> list[float | None]:
+        """Batch get: group by stripe, one lock acquisition per stripe hit."""
+        groups: dict[int, list[int]] = {}
+        for position, fingerprint in enumerate(fingerprints):
+            index = int.from_bytes(fingerprint[:8], "little") % self.stripes
+            groups.setdefault(index, []).append(position)
+        results: list[float | None] = [None] * len(fingerprints)
+        for index, positions in groups.items():
+            answers = self._stripes[index].lookup_many(
+                [fingerprints[position] for position in positions]
+            )
+            for position, answer in zip(positions, answers):
+                results[position] = answer
+        return results
+
+    def put_many(self, entries: list[tuple[bytes, float]]) -> None:
+        """Batch put: group by stripe, one lock acquisition per stripe hit."""
+        groups: dict[int, list[tuple[bytes, float]]] = {}
+        for fingerprint, answer in entries:
+            index = int.from_bytes(fingerprint[:8], "little") % self.stripes
+            groups.setdefault(index, []).append((fingerprint, answer))
+        for index, batch in groups.items():
+            self._stripes[index].put_many(batch)
+
+
+class AnalystCacheView:
+    """A per-analyst window onto a shared (striped) cache.
+
+    The server historically gave every analyst a private :class:`AnswerCache`;
+    at 10^5+ sessions that is 10^5 dicts and no shared LRU bound.  A view
+    scopes keys into one shared cache by prefixing each query fingerprint
+    with an 8-byte analyst digest — different analysts can never collide
+    (answers are per-analyst noise draws), and because the scoped key
+    *starts* with the analyst digest, one analyst's whole workload lands in
+    a single stripe: a batched lookup or insert is exactly one lock
+    acquisition.  Hit statistics are tracked per view, so per-analyst
+    ``hit_rate`` telemetry survives the sharing.
+    """
+
+    __slots__ = ("_cache", "_prefix", "hits", "misses")
+
+    def __init__(self, cache: AnswerCache | StripedAnswerCache, analyst: str):
+        self._cache = cache
+        self._prefix = hashlib.blake2b(analyst.encode("utf-8"), digest_size=8).digest()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, fingerprint: bytes) -> bytes:
+        return self._prefix + fingerprint
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this analyst's lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, fingerprint: bytes) -> float | None:
+        answer = self._cache.get(self._key(fingerprint))
+        if answer is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return answer
+
+    def put(self, fingerprint: bytes, answer: float) -> None:
+        self._cache.put(self._key(fingerprint), answer)
+
+    def lookup_many(self, fingerprints: list[bytes]) -> list[float | None]:
+        answers = self._cache.lookup_many([self._key(f) for f in fingerprints])
+        found = sum(answer is not None for answer in answers)
+        self.hits += found
+        self.misses += len(answers) - found
+        return answers
+
+    def put_many(self, entries: list[tuple[bytes, float]]) -> None:
+        self._cache.put_many([(self._key(f), answer) for f, answer in entries])

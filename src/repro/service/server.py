@@ -52,7 +52,12 @@ from repro.queries.mechanism import (
 from repro.queries.query import SubsetQuery, _validate_binary
 from repro.queries.workload import Workload
 from repro.service.audit import AuditLog, ReconstructionAuditor
-from repro.service.cache import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.service.cache import (
+    AnalystCacheView,
+    AnswerCache,
+    fingerprint_and_packed,
+    workload_fingerprints_packed,
+)
 from repro.synth.binary import BinaryRelease, synthesize_binary
 from repro.utils.rng import RngSeed, derive_rng
 
@@ -159,6 +164,22 @@ class SyntheticFallback:
             raise ValueError(f"density must lie in (0, 1), got {self.density}")
 
 
+class _FallbackHolder:
+    """Shared once-only slot for the synthetic-fallback release.
+
+    Lives outside :class:`QueryServer` so a sharded front end can hand the
+    *same* holder to every shard: whichever shard first needs the fallback
+    synthesizes (and pays for) it exactly once, and every other shard serves
+    from the same release.
+    """
+
+    __slots__ = ("lock", "release")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.release: BinaryRelease | None = None
+
+
 @dataclass
 class _AnalystState:
     """Per-analyst serving state: answerer, spec, cache, serialization lock.
@@ -169,26 +190,32 @@ class _AnalystState:
     """
 
     answerer: QueryAnswerer
-    cache: AnswerCache
+    cache: AnswerCache | AnalystCacheView
     lock: threading.Lock
     epsilon_per_query: float
     spec: MechanismSpec | None = None
 
 
 class AnalystSession:
-    """One analyst's handle on the server; thin, cheap, reusable."""
+    """One analyst's handle on the server; thin, cheap, reusable.
+
+    The session resolves its :class:`_AnalystState` once at construction,
+    so per-request serving never touches the server's analyst registry (and
+    its lock) again — the hot path is registry-free.
+    """
 
     def __init__(self, server: "QueryServer", analyst: str):
         self._server = server
         self.analyst = analyst
+        self._state = server._state(analyst)
 
     def ask(self, query: SubsetQuery) -> float:
         """Answer one query (cache-first, budget-charged, logged)."""
-        return self._server.ask(self.analyst, query)
+        return self._server._serve(self._state, self.analyst, query)
 
     def ask_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
         """Answer a whole workload in one batched pass."""
-        return self._server.ask_workload(self.analyst, workload)
+        return self._server._serve_workload(self._state, self.analyst, workload)
 
     @property
     def epsilon_spent(self) -> float:
@@ -206,9 +233,9 @@ class AnalystSession:
         return self._server.mechanism_spec(self.analyst)
 
     @property
-    def cache(self) -> AnswerCache:
+    def cache(self) -> AnswerCache | AnalystCacheView:
         """This analyst's answer cache (hit statistics live here)."""
-        return self._server._state(self.analyst).cache
+        return self._state.cache
 
 
 class QueryServer:
@@ -256,8 +283,10 @@ class QueryServer:
         elif synthetic_fallback is False:
             synthetic_fallback = None
         self.synthetic_fallback: SyntheticFallback | None = synthetic_fallback
-        self._fallback_release: BinaryRelease | None = None
-        self._fallback_lock = threading.Lock()
+        self._fallback_holder = _FallbackHolder()
+        # Optional analyst -> cache override; a sharded front end points this
+        # at views onto one shared striped per-shard cache.
+        self._cache_factory: Callable[[str], AnswerCache | AnalystCacheView] | None = None
         self._states: dict[str, _AnalystState] = {}
         self._states_lock = threading.Lock()
 
@@ -285,8 +314,9 @@ class QueryServer:
     @property
     def fallback_release(self) -> BinaryRelease | None:
         """The synthetic release, if it has been synthesized yet."""
-        with self._fallback_lock:
-            return self._fallback_release
+        holder = self._fallback_holder
+        with holder.lock:
+            return holder.release
 
     def _fallback(self) -> BinaryRelease:
         """The pre-paid synthetic release, synthesized once on first need.
@@ -299,8 +329,9 @@ class QueryServer:
         """
         config = self.synthetic_fallback
         assert config is not None
-        with self._fallback_lock:
-            if self._fallback_release is None:
+        holder = self._fallback_holder
+        with holder.lock:
+            if holder.release is None:
                 self.accountant.charge(config.account, 1, config.epsilon)
                 try:
                     release = synthesize_binary(
@@ -315,8 +346,8 @@ class QueryServer:
                     self.accountant.refund(config.account, 1, config.epsilon)
                     raise
                 self.audit_log.note_release(config.account, release.spec)
-                self._fallback_release = release
-            return self._fallback_release
+                holder.release = release
+            return holder.release
 
     def _state(self, analyst: str) -> _AnalystState:
         with self._states_lock:
@@ -328,9 +359,13 @@ class QueryServer:
                     rng=derive_rng(self.seed, "service", analyst),
                     **self.mechanism_params,
                 )
+                if self._cache_factory is not None:
+                    cache = self._cache_factory(analyst)
+                else:
+                    cache = AnswerCache(max_entries=self.cache_entries)
                 state = _AnalystState(
                     answerer=answerer,
-                    cache=AnswerCache(max_entries=self.cache_entries),
+                    cache=cache,
                     lock=threading.Lock(),
                     epsilon_per_query=per_query_epsilon(answerer),
                     spec=getattr(answerer, "spec", None),
@@ -340,17 +375,30 @@ class QueryServer:
 
     def ask(self, analyst: str, query: SubsetQuery) -> float:
         """Answer one query for ``analyst``; the single-query hot path."""
+        return self._serve(self._state(analyst), analyst, query)
+
+    def _serve(self, state: _AnalystState, analyst: str, query: SubsetQuery) -> float:
+        """:meth:`ask` with the analyst state already in hand (sessions
+        resolve it once, so repeated asks never touch the registry lock)."""
         if query.n != self.n:
             raise ValueError(f"query addresses n={query.n}, data has n={self.n}")
-        state = self._state(analyst)
         with state.lock:
             if self.auditor is not None:
                 self.auditor.check(analyst)
-            fingerprint = query_fingerprint(query)
+            mask = query.mask
+            fingerprint, packed = fingerprint_and_packed(mask)
+            size = int(np.count_nonzero(mask))
             cached = state.cache.get(fingerprint)
             if cached is not None:
                 self.audit_log.append(
-                    analyst, fingerprint, query.mask, cached, True, 0.0
+                    analyst,
+                    fingerprint,
+                    mask,
+                    cached,
+                    True,
+                    0.0,
+                    packed_mask=packed,
+                    query_size=size,
                 )
                 return cached
             epsilon = state.epsilon_per_query
@@ -362,22 +410,33 @@ class QueryServer:
                 # Serve exactly from the pre-paid release: post-processing,
                 # zero further epsilon.  Synthetic answers stay out of the
                 # cache so every one is logged with its true source.
-                answer = float(self._fallback().answer(query.mask))
+                answer = float(self._fallback().answer(mask))
                 self.audit_log.append(
                     analyst,
                     fingerprint,
-                    query.mask,
+                    mask,
                     answer,
                     False,
                     0.0,
                     source="synthetic",
+                    packed_mask=packed,
+                    query_size=size,
                 )
                 if self.auditor is not None:
                     self.auditor.maybe_audit(self.audit_log, analyst)
                 return answer
             answer = state.answerer.answer(query)
             state.cache.put(fingerprint, answer)
-            self.audit_log.append(analyst, fingerprint, query.mask, answer, False, epsilon)
+            self.audit_log.append(
+                analyst,
+                fingerprint,
+                mask,
+                answer,
+                False,
+                epsilon,
+                packed_mask=packed,
+                query_size=size,
+            )
             if self.auditor is not None:
                 self.auditor.maybe_audit(self.audit_log, analyst)
             return answer
@@ -392,14 +451,22 @@ class QueryServer:
         refuses, *nothing* is answered, cached, or logged — then answered
         with one vectorized mechanism call.
         """
+        return self._serve_workload(self._state(analyst), analyst, workload)
+
+    def _serve_workload(
+        self,
+        state: _AnalystState,
+        analyst: str,
+        workload: Workload | Sequence[SubsetQuery],
+    ) -> np.ndarray:
+        """:meth:`ask_workload` with the analyst state already in hand."""
         workload = Workload.coerce(workload)
         if workload.n != self.n:
             raise ValueError(f"workload addresses n={workload.n}, data has n={self.n}")
-        state = self._state(analyst)
         with state.lock:
             if self.auditor is not None:
                 self.auditor.check(analyst)
-            fingerprints = workload_fingerprints(workload)
+            fingerprints, packed_rows, sizes = workload_fingerprints_packed(workload)
             looked_up = state.cache.lookup_many(fingerprints)
             miss_rows: list[int] = []
             miss_fps: list[bytes] = []
@@ -431,9 +498,13 @@ class QueryServer:
                         answer_by_fp[fingerprint] = float(answer)
                 else:
                     fresh = state.answerer.answer_workload(sub_workload)
-                    for fingerprint, answer in zip(miss_fps, fresh):
-                        state.cache.put(fingerprint, answer)
-                        answer_by_fp[fingerprint] = float(answer)
+                    fresh_entries = [
+                        (fingerprint, float(answer))
+                        for fingerprint, answer in zip(miss_fps, fresh)
+                    ]
+                    # One cache-lock acquisition for the whole miss batch.
+                    state.cache.put_many(fresh_entries)
+                    answer_by_fp.update(fresh_entries)
             answers = np.array(
                 [answer_by_fp[fingerprint] for fingerprint in fingerprints],
                 dtype=np.float64,
@@ -450,6 +521,8 @@ class QueryServer:
                     not is_fresh,
                     epsilon if is_fresh and not synthetic else 0.0,
                     source="synthetic" if is_fresh and synthetic else "mechanism",
+                    packed_mask=packed_rows[row],
+                    query_size=int(sizes[row]),
                 )
             if self.auditor is not None:
                 self.auditor.maybe_audit(self.audit_log, analyst)

@@ -144,3 +144,41 @@ class TestL2DecodeBatch:
             l2_decode_batch(systems[0], answers)
         with pytest.raises(ValueError):
             l2_decode_batch(systems, answers[:, :-1])
+
+
+class TestWarmStart:
+    def test_x0_shape_validated(self):
+        workload, _, answers = _transcript(32, 64, seed=3)
+        with pytest.raises(ValueError, match="x0"):
+            l2_decode(workload, answers, x0=np.zeros(7))
+
+    def test_x0_is_clipped_into_the_box(self):
+        workload, data, answers = _transcript(32, 64, seed=3)
+        wild = np.where(data > 0, 5.0, -5.0)  # right signs, out of the box
+        result = l2_decode(workload, answers, alpha=0.0, x0=wild)
+        assert result.fractional.min() >= 0.0 and result.fractional.max() <= 1.0
+        assert result.agreement_with(data) == 1.0
+
+    def test_certifying_warm_start_skips_iteration(self):
+        workload, data, answers = _transcript(48, 96, seed=5)
+        result = l2_decode(workload, answers, alpha=0.0, x0=data.astype(float))
+        assert result.iterations == 0
+        assert result.certified
+        np.testing.assert_array_equal(result.reconstruction, data)
+
+    def test_warm_start_converges_faster_than_cold(self):
+        workload, data, answers = _transcript(96, 192, seed=7)
+        cold = l2_decode(workload, answers)
+        # Perturb the cold solution slightly: the warm restart must converge
+        # in fewer iterations and to the same rounded reconstruction.
+        nudged = np.clip(cold.fractional + 0.01, 0.0, 1.0)
+        warm = l2_decode(workload, answers, x0=nudged)
+        assert warm.iterations < cold.iterations
+        np.testing.assert_array_equal(warm.reconstruction, cold.reconstruction)
+
+    def test_default_is_cold_center_start(self):
+        workload, _, answers = _transcript(32, 64, seed=9)
+        explicit = l2_decode(workload, answers, x0=np.full(32, 0.5))
+        default = l2_decode(workload, answers)
+        np.testing.assert_array_equal(explicit.fractional, default.fractional)
+        assert explicit.iterations == default.iterations

@@ -7,6 +7,7 @@ import pytest
 
 from repro.queries.mechanism import ExactAnswerer
 from repro.queries.workload import Workload
+from repro.reconstruction.l2_decode import l2_decode
 from repro.service import (
     AuditLog,
     CircuitBreakerTripped,
@@ -220,3 +221,80 @@ class TestL2Screening:
         report = l2_auditor.audit(log, "attacker")
         assert report.escalated is True
         assert report.flagged
+
+
+class TestWarmStartPasses:
+    """Warm-started auditor passes: same verdicts, carried-over state."""
+
+    def _growing_log(self, n=64, batches=4, seed=0):
+        data = derive_rng(seed, "data").integers(0, 2, size=n)
+        rng = derive_rng(seed, "w")
+        log = AuditLog()
+        checkpoints = []
+        for _ in range(batches):
+            workload = Workload.random(n, n // 2, rng=rng)
+            answers = ExactAnswerer(data).answer_workload(workload)
+            _log_workload(log, "attacker", workload, answers)
+            checkpoints.append(len(log.unique_records("attacker")))
+        return data, log, checkpoints
+
+    def _replay_passes(self, data, log, **kwargs):
+        auditor = ReconstructionAuditor(
+            data,
+            agreement_threshold=0.99,
+            audit_every=1,
+            min_queries=16,
+            alpha=0.0,
+            screen="l2",
+            **kwargs,
+        )
+        # Audit the same analyst repeatedly as the transcript grows is
+        # simulated by repeated full audits (cadence reset by audit()).
+        reports = [auditor.audit(log, "attacker") for _ in range(3)]
+        return auditor, reports
+
+    def test_verdicts_match_cold_passes(self):
+        data, log, _ = self._growing_log()
+        _, cold = self._replay_passes(data, log, warm_start_passes=False)
+        _, warm = self._replay_passes(data, log, warm_start_passes=True)
+        for cold_report, warm_report in zip(cold, warm):
+            assert warm_report.flagged == cold_report.flagged
+            assert warm_report.agreement == cold_report.agreement
+
+    def test_warm_state_is_stored_per_analyst(self):
+        data, log, _ = self._growing_log()
+        auditor, _ = self._replay_passes(data, log, warm_start_passes=True)
+        assert set(auditor._warm) == {"attacker"}
+        assert auditor._warm["attacker"].shape == data.shape
+
+    def test_cold_auditor_keeps_no_state(self):
+        data, log, _ = self._growing_log()
+        auditor, _ = self._replay_passes(data, log, warm_start_passes=False)
+        assert auditor._warm == {}
+
+    def test_warm_repass_converges_immediately(self):
+        # Re-auditing an unchanged exact transcript from the previous
+        # solution: the warm candidate certifies without iterating, so the
+        # second pass is far faster than the first.
+        data, log, _ = self._growing_log(n=128)
+        auditor = ReconstructionAuditor(
+            data,
+            agreement_threshold=1.0,
+            audit_every=1,
+            min_queries=16,
+            alpha=0.0,
+            screen="l2",
+            screen_margin=0.0,
+            warm_start_passes=True,
+        )
+        first = auditor.audit(log, "attacker")
+        second = auditor.audit(log, "attacker")
+        assert second.agreement == first.agreement
+        # The stored solution certifies the unchanged transcript upfront:
+        # the repass costs one matvec, not a solve.  (Asserted via the
+        # decoder rather than wall clock, which is noisy under load.)
+        records = log.unique_records("attacker")
+        workload = Workload(np.stack([record.mask() for record in records]))
+        answers = np.array([record.answer for record in records])
+        replay = l2_decode(workload, answers, 0.0, x0=auditor._warm["attacker"])
+        assert replay.iterations == 0

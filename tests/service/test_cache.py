@@ -5,7 +5,13 @@ import pytest
 
 from repro.queries.query import SubsetQuery
 from repro.queries.workload import Workload
-from repro.service import AnswerCache, query_fingerprint, workload_fingerprints
+from repro.service import (
+    AnalystCacheView,
+    AnswerCache,
+    StripedAnswerCache,
+    query_fingerprint,
+    workload_fingerprints,
+)
 
 
 class TestFingerprints:
@@ -79,3 +85,104 @@ class TestAnswerCache:
 
     def test_empty_hit_rate_is_zero(self):
         assert AnswerCache().hit_rate == 0.0
+
+    def test_put_many_matches_sequential_puts(self):
+        batched = AnswerCache(max_entries=3)
+        sequential = AnswerCache(max_entries=3)
+        entries = [(bytes([i]) * 16, float(i)) for i in range(5)]
+        batched.put_many(entries)
+        for fingerprint, answer in entries:
+            sequential.put(fingerprint, answer)
+        probes = [fingerprint for fingerprint, _ in entries]
+        assert batched.lookup_many(probes) == sequential.lookup_many(probes)
+        assert len(batched) == 3
+
+    def test_put_many_empty_is_noop(self):
+        cache = AnswerCache()
+        cache.put_many([])
+        assert len(cache) == 0
+
+
+class TestStripedAnswerCache:
+    def test_behaves_like_one_cache(self):
+        striped = StripedAnswerCache(stripes=4)
+        plain = AnswerCache()
+        entries = [(bytes([i, i + 1]) * 8, float(i)) for i in range(32)]
+        for cache in (striped, plain):
+            cache.put_many(entries[:16])
+            for fingerprint, answer in entries[16:24]:
+                cache.put(fingerprint, answer)
+        probes = [fingerprint for fingerprint, _ in entries]
+        assert striped.lookup_many(probes) == plain.lookup_many(probes)
+        assert striped.get(entries[0][0]) == plain.get(entries[0][0])
+        assert len(striped) == len(plain) == 24
+        assert striped.hits == plain.hits and striped.misses == plain.misses
+        assert striped.hit_rate == plain.hit_rate
+
+    def test_lookup_many_preserves_order_across_stripes(self):
+        striped = StripedAnswerCache(stripes=8)
+        entries = [(bytes([i]) * 16, float(i)) for i in range(20)]
+        striped.put_many(entries)
+        probes = [fingerprint for fingerprint, _ in reversed(entries)]
+        assert striped.lookup_many(probes) == [float(i) for i in range(19, -1, -1)]
+
+    def test_global_bound_splits_across_stripes(self):
+        striped = StripedAnswerCache(max_entries=8, stripes=4)
+        # Worst case one stripe gets everything: its share is ceil(8/4)=2.
+        same_stripe = [(b"\x00" * 8 + bytes([i]) * 8, float(i)) for i in range(6)]
+        striped.put_many(same_stripe)
+        assert len(striped) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError, match="stripes"):
+            StripedAnswerCache(stripes=0)
+        with pytest.raises(ValueError, match="max_entries"):
+            StripedAnswerCache(max_entries=0)
+
+
+class TestAnalystCacheView:
+    def test_views_are_isolated_per_analyst(self):
+        shared = StripedAnswerCache(stripes=4)
+        alice = AnalystCacheView(shared, "alice")
+        bob = AnalystCacheView(shared, "bob")
+        fingerprint = b"\x07" * 16
+        alice.put(fingerprint, 1.5)
+        assert alice.get(fingerprint) == 1.5
+        assert bob.get(fingerprint) is None  # same query, different analyst
+
+    def test_view_stats_are_per_analyst(self):
+        shared = StripedAnswerCache(stripes=4)
+        alice = AnalystCacheView(shared, "alice")
+        bob = AnalystCacheView(shared, "bob")
+        fingerprint = b"\x07" * 16
+        alice.put(fingerprint, 1.0)
+        alice.get(fingerprint)
+        bob.get(fingerprint)
+        assert alice.hits == 1 and alice.misses == 0
+        assert bob.hits == 0 and bob.misses == 1
+        assert alice.hit_rate == 1.0 and bob.hit_rate == 0.0
+
+    def test_batched_ops_round_trip(self):
+        shared = StripedAnswerCache(stripes=8)
+        view = AnalystCacheView(shared, "alice")
+        entries = [(bytes([i]) * 16, float(i)) for i in range(10)]
+        probes = [fingerprint for fingerprint, _ in entries]
+        assert view.lookup_many(probes) == [None] * 10
+        view.put_many(entries)
+        assert view.lookup_many(probes) == [float(i) for i in range(10)]
+        assert view.hits == 10 and view.misses == 10
+        assert view.hit_rate == pytest.approx(0.5)
+
+    def test_analyst_batch_lands_in_one_stripe(self):
+        # The scoped key starts with the analyst digest, so one analyst's
+        # whole workload maps to a single stripe (one lock per batch).
+        shared = StripedAnswerCache(stripes=8)
+        view = AnalystCacheView(shared, "alice")
+        view.put_many([(bytes([i]) * 16, float(i)) for i in range(50)])
+        occupied = [len(stripe) for stripe in shared._stripes if len(stripe)]
+        assert occupied == [50]
+
+    def test_works_over_plain_answer_cache(self):
+        view = AnalystCacheView(AnswerCache(), "alice")
+        view.put(b"\x01" * 16, 2.0)
+        assert view.get(b"\x01" * 16) == 2.0
