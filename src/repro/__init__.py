@@ -16,7 +16,13 @@ the most commonly used entry points are re-exported here:
   :func:`~repro.core.theorems.run_all_checks` and friends;
 * the legal layer —
   :func:`~repro.legal.theorems.legal_theorem_2_1`,
-  :func:`~repro.legal.theorems.differential_privacy_assessment`;
+  :func:`~repro.legal.theorems.differential_privacy_assessment`, and the
+  derivation API :func:`~repro.legal.claims.derive` /
+  :class:`~repro.legal.claims.LegalVerdict`;
+* the release-approval layer —
+  :class:`~repro.compliance.pipeline.CompliancePipeline`,
+  :class:`~repro.compliance.certificate.ComplianceCertificate`, and the
+  typed refusal :class:`~repro.compliance.gate.ComplianceDenied`;
 * the service layer —
   :class:`~repro.service.server.QueryServer`,
   :class:`~repro.service.audit.ReconstructionAuditor`, and the typed
@@ -55,9 +61,15 @@ from repro.core.mechanisms import (
     Mechanism,
     PostProcessedMechanism,
 )
+from repro.compliance import (
+    ComplianceCertificate,
+    ComplianceDenied,
+    CompliancePipeline,
+)
 from repro.core.predicate import Predicate, attribute_predicate
 from repro.core.pso import PSOContext, PSOGame, PSOGameResult
 from repro.core.theorems import TheoremCheck, run_all_checks
+from repro.legal.claims import LegalVerdict, TechnicalPremise, derive
 from repro.legal.theorems import (
     differential_privacy_assessment,
     legal_corollary_2_1,
@@ -77,6 +89,9 @@ __version__ = "1.0.0"
 __all__ = [
     "BudgetExhausted",
     "CircuitBreakerTripped",
+    "ComplianceCertificate",
+    "ComplianceDenied",
+    "CompliancePipeline",
     "ComposedMechanism",
     "CompositionAttacker",
     "ConstantMechanism",
@@ -87,6 +102,7 @@ __all__ = [
     "IdentityMechanism",
     "KAnonymityMechanism",
     "KAnonymityPSOAttacker",
+    "LegalVerdict",
     "Mechanism",
     "MechanismSpec",
     "PSOContext",
@@ -97,11 +113,13 @@ __all__ = [
     "PrivacySpend",
     "QueryServer",
     "ReconstructionAuditor",
+    "TechnicalPremise",
     "TheoremCheck",
     "TrivialAttacker",
     "__version__",
     "attribute_predicate",
     "build_composition_suite",
+    "derive",
     "differential_privacy_assessment",
     "legal_corollary_2_1",
     "legal_theorem_2_1",

@@ -1,0 +1,232 @@
+"""Content-addressed compliance certificates.
+
+A certificate is only worth anything if it is bound to the *bits* it
+certifies.  This module gives every certifiable release a canonical
+blake2b fingerprint (the same digest discipline
+:mod:`repro.service.cache` uses for query fingerprints: length-prefixed
+parts, 16-byte digest) and defines :class:`ComplianceCertificate`, a
+frozen record binding release fingerprint + policy + per-check evidence +
+the derived :class:`~repro.legal.claims.LegalVerdict` under one
+self-fingerprint.  Tampering with either side — the certified release or
+the certificate's own fields — breaks the binding and
+:meth:`ComplianceCertificate.validate` refuses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compliance.policy import Policy
+from repro.compliance.verifiers import CheckResult
+from repro.data.dataset import Dataset
+from repro.data.generalized import GeneralizedDataset
+from repro.legal.claims import LegalVerdict
+from repro.privacy.kernels import MechanismSpec
+from repro.synth.base import SyntheticRelease
+from repro.synth.binary import BinaryRelease
+
+__all__ = [
+    "ComplianceCertificate",
+    "release_fingerprint",
+    "spec_fingerprint",
+]
+
+
+def _digest(*parts: bytes) -> str:
+    """blake2b-128 over length-prefixed parts (no concatenation ambiguity)."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "little"))
+        h.update(part)
+    return h.hexdigest()
+
+
+def _array_bytes(array: np.ndarray) -> tuple[bytes, bytes]:
+    contiguous = np.ascontiguousarray(array)
+    header = f"{contiguous.dtype.str}:{contiguous.shape}".encode()
+    return header, contiguous.tobytes()
+
+
+def spec_fingerprint(spec: MechanismSpec) -> str:
+    """Canonical fingerprint of a mechanism identity.
+
+    Covers everything :class:`MechanismSpec` declares — name, kernel (its
+    repr carries the calibrated parameters), spend, sensitivity, error
+    bound, and the DP claim itself — so two specs with the same epsilon but
+    different kernels, or the same kernel with a silently edited DP flag,
+    never collide.
+    """
+    spend = spec.spend
+    return _digest(
+        b"mechanism-spec",
+        spec.name.encode(),
+        repr(spec.kernel).encode(),
+        repr((float(spend.epsilon), float(spend.delta), spend.label)).encode(),
+        repr(
+            (
+                float(spec.sensitivity),
+                None if spec.error_bound is None else float(spec.error_bound),
+                bool(spec.dp),
+            )
+        ).encode(),
+    )
+
+
+def release_fingerprint(release: object) -> str:
+    """The canonical content address of a certifiable release.
+
+    Dispatches over every release shape the service can be asked to serve:
+    mechanism specs, synthetic binary vectors, synthetic microdata, raw
+    datasets, k-anonymized :class:`GeneralizedDataset` releases, and bare
+    numpy arrays.  Each embeds a type tag, so a vector and a dataset with
+    identical bytes still fingerprint apart.
+    """
+    if isinstance(release, MechanismSpec):
+        return spec_fingerprint(release)
+    if isinstance(release, BinaryRelease):
+        header, payload = _array_bytes(release.vector)
+        return _digest(
+            b"binary-release", header, payload, spec_fingerprint(release.spec).encode()
+        )
+    if isinstance(release, SyntheticRelease):
+        parts = [
+            b"synthetic-release",
+            _dataset_bytes(release.data),
+            spec_fingerprint(release.spec).encode(),
+        ]
+        if release.histogram is not None:
+            header, payload = _array_bytes(np.asarray(release.histogram))
+            parts.extend([header, payload])
+        return _digest(*parts)
+    if isinstance(release, Dataset):
+        return _digest(b"dataset", _dataset_bytes(release))
+    if isinstance(release, GeneralizedDataset):
+        rows = "\n".join(repr(record) for record in release)
+        names = ",".join(release.schema.names)
+        return _digest(b"generalized-dataset", names.encode(), rows.encode())
+    if isinstance(release, np.ndarray):
+        header, payload = _array_bytes(release)
+        return _digest(b"ndarray", header, payload)
+    raise TypeError(
+        f"cannot fingerprint a release of type {type(release).__name__}; "
+        "supported: MechanismSpec, BinaryRelease, SyntheticRelease, Dataset, "
+        "GeneralizedDataset, ndarray"
+    )
+
+
+def _dataset_bytes(dataset: Dataset) -> bytes:
+    names = ",".join(dataset.schema.names)
+    return names.encode() + b"\x00" + repr(dataset.rows).encode()
+
+
+def _check_bytes(check: CheckResult) -> bytes:
+    measured = sorted((str(k), repr(v)) for k, v in check.measurements.items())
+    return repr(
+        (check.identifier, check.requirement, check.passed, check.detail, measured)
+    ).encode()
+
+
+def _verdict_bytes(verdict: LegalVerdict) -> bytes:
+    premises = tuple(
+        (premise.identifier, premise.statement, premise.established)
+        for premise in verdict.premises
+    )
+    return repr(
+        (verdict.claim.identifier, verdict.claim.conclusion, premises)
+    ).encode()
+
+
+@dataclass(frozen=True)
+class ComplianceCertificate:
+    """A machine-checked release approval (or denial), content-addressed.
+
+    Attributes:
+        subject: operator-facing name of what was certified.
+        release_fingerprint: :func:`release_fingerprint` of the certified
+            object at certification time.
+        policy: the :class:`~repro.compliance.policy.Policy` the checks ran
+            against.
+        approved: whether every check passed.
+        checks: every verifier's :class:`CheckResult`, in canonical
+            (identifier-sorted) order.
+        verdict: the :class:`~repro.legal.claims.LegalVerdict` derived from
+            the checks — an approval verdict, or a denial verdict whose
+            premises name exactly the failing checks.
+        seed: the pipeline seed the checks were derived from (replayable).
+        fingerprint: blake2b content address over all of the above.
+    """
+
+    subject: str
+    release_fingerprint: str
+    policy: Policy
+    approved: bool
+    checks: tuple[CheckResult, ...]
+    verdict: LegalVerdict
+    seed: int
+    fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            object.__setattr__(self, "fingerprint", self.content_fingerprint())
+
+    def content_fingerprint(self) -> str:
+        """Recompute the certificate's content address from its fields."""
+        return _digest(
+            b"compliance-certificate",
+            self.subject.encode(),
+            self.release_fingerprint.encode(),
+            self.policy.fingerprint().encode(),
+            repr((self.approved, int(self.seed))).encode(),
+            *[_check_bytes(check) for check in self.checks],
+            _verdict_bytes(self.verdict),
+        )
+
+    @property
+    def failing(self) -> tuple[str, ...]:
+        """Identifiers of the checks that failed (empty when approved)."""
+        return tuple(check.identifier for check in self.checks if not check.passed)
+
+    def binds(self, release: object) -> bool:
+        """Whether ``release`` is bit-identical to the certified object."""
+        try:
+            return release_fingerprint(release) == self.release_fingerprint
+        except TypeError:
+            return False
+
+    def tampered(self) -> bool:
+        """Whether the certificate's own fields no longer hash to its address."""
+        return self.fingerprint != self.content_fingerprint()
+
+    def validate(self, release: object) -> bool:
+        """Approval + self-integrity + binding, in one verdict.
+
+        True only when the certificate says *approved*, its own fields
+        still hash to its recorded fingerprint, and ``release`` is
+        bit-identical to the object that was certified.  A single-byte
+        tamper on either side flips this to False.
+        """
+        return self.approved and not self.tampered() and self.binds(release)
+
+    def render(self) -> str:
+        """A human-readable certificate transcript."""
+        status = "APPROVED" if self.approved else "DENIED"
+        lines = [
+            f"COMPLIANCE CERTIFICATE [{self.fingerprint}] — {status}",
+            f"  Subject: {self.subject}",
+            f"  Release: {self.release_fingerprint}",
+            f"  Policy:  {self.policy.name} [{self.policy.fingerprint()}]",
+            "  Checks:",
+        ]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            lines.append(f"    [{mark}] {check.identifier}: {check.requirement}")
+            if check.detail and not check.passed:
+                lines.append(f"           {check.detail}")
+        lines.append("  " + self.verdict.render().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,189 @@
+"""The release-approval pipeline: verifiers in, legal certificate out.
+
+:class:`CompliancePipeline` runs a fixed set of
+:class:`~repro.compliance.verifiers.Verifier` instances over a release,
+deterministically — verifiers execute in identifier order whatever order
+they were registered in, and each draws its randomness from its own
+``derive_rng(seed, "compliance", policy, identifier)`` stream, so a
+pipeline run is a pure function of ``(release, data, ledger, policy,
+seed)`` — then feeds the results through the legal layer's falsifiability
+gate (:func:`repro.legal.claims.derive`):
+
+* every check passed → an **approval** verdict whose premises are the
+  checks, each established by a passed
+  :class:`~repro.core.theorems.TheoremCheck`, qualified per the paper's
+  Section 2.4.1 (a necessary condition, not a compliance determination);
+* any check failed → a **denial** verdict whose premises *name the
+  failing checks*, each established by the measured refutation — the
+  Legal Theorem 2.1 direction: a demonstrated failure of the technical
+  condition is positive evidence for the negative legal conclusion.
+
+Either way the outcome is a content-addressed
+:class:`~repro.compliance.certificate.ComplianceCertificate`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compliance.certificate import ComplianceCertificate, release_fingerprint
+from repro.compliance.policy import Policy
+from repro.compliance.verifiers import CheckResult, ReleaseContext, Verifier
+from repro.core.theorems import TheoremCheck
+from repro.legal.claims import LegalClaim, TechnicalPremise, derive
+from repro.legal.theorems import (
+    ASSUMPTION_PSO_NECESSARY,
+    ASSUMPTION_SINGLING_OUT_NECESSARY,
+)
+
+__all__ = ["CompliancePipeline"]
+
+#: Qualification carried by every approval, per the paper's Section 2.4.1.
+_APPROVAL_QUALIFICATION = (
+    "necessary condition only; approval under this policy is not by itself "
+    "a compliance determination"
+)
+
+
+def _premise_from_check(check: CheckResult) -> TechnicalPremise:
+    """A passed check as an established premise of the approval verdict."""
+    return TechnicalPremise(
+        identifier=check.identifier,
+        statement=check.requirement,
+        evidence=TheoremCheck(
+            theorem=f"compliance:{check.identifier}",
+            claim=check.requirement,
+            passed=check.passed,
+            measurements=dict(check.measurements),
+        ),
+    )
+
+
+def _refutation_from_check(check: CheckResult) -> TechnicalPremise:
+    """A failed check as an established *refutation* premise.
+
+    The measured failure is itself the established fact (the same polarity
+    the Theorem 2.10 checks use: the check "k-anonymity fails PSO" passes
+    when the attack succeeds), so the denial verdict clears the
+    falsifiability gate on real evidence.
+    """
+    statement = f"policy requirement violated: {check.requirement}"
+    return TechnicalPremise(
+        identifier=check.identifier,
+        statement=statement,
+        evidence=TheoremCheck(
+            theorem=f"compliance:{check.identifier}",
+            claim=check.detail or statement,
+            passed=True,
+            measurements=dict(check.measurements),
+        ),
+    )
+
+
+class CompliancePipeline:
+    """Deterministic verifier battery with a legal-derivation back end.
+
+    Args:
+        verifiers: the checks every release must face; identifiers must be
+            unique (they name premises in the verdict).  Registration
+            order is irrelevant — execution is in identifier order.
+        policy: the :class:`~repro.compliance.policy.Policy` to enforce.
+        seed: master seed for the verifiers' derived noise streams.
+    """
+
+    def __init__(
+        self, verifiers: Sequence[Verifier], policy: Policy, *, seed: int = 0
+    ):
+        ordered = sorted(verifiers, key=lambda verifier: verifier.identifier)
+        identifiers = [verifier.identifier for verifier in ordered]
+        duplicates = {
+            identifier
+            for identifier in identifiers
+            if identifiers.count(identifier) > 1
+        }
+        if duplicates:
+            raise ValueError(
+                f"duplicate verifier identifiers: {sorted(duplicates)}"
+            )
+        if not ordered:
+            raise ValueError("a pipeline needs at least one verifier")
+        self.verifiers: tuple[Verifier, ...] = tuple(ordered)
+        self.policy = policy
+        self.seed = int(seed)
+
+    def run_checks(
+        self,
+        release: object,
+        *,
+        data: object | None = None,
+        accountant: object | None = None,
+    ) -> tuple[CheckResult, ...]:
+        """Run every verifier; results come back in identifier order."""
+        from repro.utils.rng import derive_rng
+
+        context = ReleaseContext(release=release, data=data, accountant=accountant)
+        results = []
+        for verifier in self.verifiers:
+            rng = derive_rng(
+                self.seed, "compliance", self.policy.name, verifier.identifier
+            )
+            results.append(verifier.check(context, self.policy, rng))
+        return tuple(results)
+
+    def certify(
+        self,
+        release: object,
+        *,
+        data: object | None = None,
+        accountant: object | None = None,
+        subject: str = "release",
+    ) -> ComplianceCertificate:
+        """Check, derive the legal verdict, and mint the certificate."""
+        checks = self.run_checks(release, data=data, accountant=accountant)
+        approved = all(check.passed for check in checks)
+        assumptions = [ASSUMPTION_PSO_NECESSARY, ASSUMPTION_SINGLING_OUT_NECESSARY]
+        if approved:
+            claim = LegalClaim(
+                identifier="Release-Approval",
+                conclusion=(
+                    f"release {subject!r} meets policy "
+                    f"{self.policy.name!r}: every machine-checked requirement "
+                    "for preventing GDPR singling out is established; the "
+                    "release may be served"
+                ),
+                rule=(
+                    "all technical premises established by measurement => "
+                    "approve (Section 2.4 falsifiability discipline)"
+                ),
+            )
+            premises = [_premise_from_check(check) for check in checks]
+            verdict = derive(claim, assumptions, premises, _APPROVAL_QUALIFICATION)
+        else:
+            failing = [check for check in checks if not check.passed]
+            names = ", ".join(check.identifier for check in failing)
+            claim = LegalClaim(
+                identifier="Release-Denial",
+                conclusion=(
+                    f"release {subject!r} fails policy "
+                    f"{self.policy.name!r} (refuted: {names}); it fails to "
+                    "prevent singling out as the GDPR requires and must not "
+                    "be served"
+                ),
+                rule=(
+                    "any measured violation of a required technical "
+                    "condition => deny (the Legal Theorem 2.1 direction: "
+                    "failing the technical condition implies failing the "
+                    "legal standard)"
+                ),
+            )
+            premises = [_refutation_from_check(check) for check in failing]
+            verdict = derive(claim, assumptions, premises)
+        return ComplianceCertificate(
+            subject=subject,
+            release_fingerprint=release_fingerprint(release),
+            policy=self.policy,
+            approved=approved,
+            checks=checks,
+            verdict=verdict,
+            seed=self.seed,
+        )

@@ -1,0 +1,97 @@
+"""The declared release policy the compliance pipeline enforces.
+
+A :class:`Policy` is the operator's side of the paper's legal bargain: it
+pins, as plain numbers, what "protected" is going to mean for this service
+— the global epsilon cap the ledger must stay under, the minimum k a
+k-anonymity claim must actually achieve, the reconstruction-agreement bar
+a release must stay below (0.95 is the blatant-non-privacy threshold the
+reconstruction experiments use), and how hard the empirical DP check
+tries.  The policy is frozen and content-addressed so a certificate can
+bind the exact policy it was issued under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, fields
+from typing import Mapping
+
+__all__ = ["Policy"]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Machine-checkable release requirements, one frozen record.
+
+    Attributes:
+        name: the policy's operator-facing name (part of its identity).
+        epsilon_cap: total composed epsilon the accountant's ledger may
+            reach (inf = uncapped).
+        delta_cap: total delta the ledger may reach.
+        k_min: the k a k-anonymity claim must re-derive to at least.
+        reconstruction_agreement_max: a replayed reconstruction attack must
+            agree with the private data strictly below this fraction
+            (default: the 0.95 blatant-non-privacy bar).
+        dp_trials: samples per dataset for the empirical DP check.
+        dp_confidence: per-event confidence of the DP check's bounds.
+        recon_queries_per_record: attack workload size, as a multiple of n.
+        safe_harbor_classification: attribute -> HIPAA safe-harbor category
+            (mapping accepted; stored canonically as sorted pairs).
+    """
+
+    name: str = "default"
+    epsilon_cap: float = math.inf
+    delta_cap: float = 1.0
+    k_min: int = 2
+    reconstruction_agreement_max: float = 0.95
+    dp_trials: int = 1200
+    dp_confidence: float = 0.999
+    recon_queries_per_record: float = 2.0
+    safe_harbor_classification: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.safe_harbor_classification, Mapping):
+            canonical = tuple(sorted(self.safe_harbor_classification.items()))
+            object.__setattr__(self, "safe_harbor_classification", canonical)
+        else:
+            object.__setattr__(
+                self,
+                "safe_harbor_classification",
+                tuple(sorted(tuple(pair) for pair in self.safe_harbor_classification)),
+            )
+        if self.epsilon_cap <= 0:
+            raise ValueError(f"epsilon_cap must be positive, got {self.epsilon_cap}")
+        if not 0.0 <= self.delta_cap <= 1.0:
+            raise ValueError(f"delta_cap must lie in [0, 1], got {self.delta_cap}")
+        if self.k_min < 1:
+            raise ValueError(f"k_min must be at least 1, got {self.k_min}")
+        if not 0.0 < self.reconstruction_agreement_max <= 1.0:
+            raise ValueError(
+                "reconstruction_agreement_max must lie in (0, 1], got "
+                f"{self.reconstruction_agreement_max}"
+            )
+        if self.dp_trials < 1:
+            raise ValueError(f"dp_trials must be positive, got {self.dp_trials}")
+        if not 0.0 < self.dp_confidence < 1.0:
+            raise ValueError(
+                f"dp_confidence must lie in (0, 1), got {self.dp_confidence}"
+            )
+        if self.recon_queries_per_record <= 0:
+            raise ValueError(
+                "recon_queries_per_record must be positive, got "
+                f"{self.recon_queries_per_record}"
+            )
+
+    def classification(self) -> dict[str, str]:
+        """The safe-harbor classification as the mapping the checker takes."""
+        return dict(self.safe_harbor_classification)
+
+    def fingerprint(self) -> str:
+        """blake2b content address of the policy (certificates embed it)."""
+        h = hashlib.blake2b(digest_size=16)
+        for spec in fields(self):
+            part = repr((spec.name, getattr(self, spec.name))).encode()
+            h.update(len(part).to_bytes(8, "little"))
+            h.update(part)
+        return h.hexdigest()

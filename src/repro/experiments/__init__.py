@@ -47,6 +47,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration imports)
     e18_service_audit,
     e19_synthetic_release,
     e20_sharded_reconstruction,
+    e21_release_approval,
 )
 
 __all__ = [

@@ -24,6 +24,7 @@ from repro.legal.claims import (
     LegalVerdict,
     ModelingAssumption,
     TechnicalPremise,
+    derive,
 )
 from repro.legal.deletion import deletion_certificate, verify_exact_deletion
 from repro.legal.concepts import (
@@ -54,6 +55,7 @@ __all__ = [
     "TechnicalPremise",
     "US_PRIVACY_EXCERPTS",
     "deletion_certificate",
+    "derive",
     "differential_privacy_assessment",
     "is_safe_harbor_compliant",
     "legal_corollary_2_1",

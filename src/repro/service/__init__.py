@@ -38,7 +38,9 @@ from repro.service.audit import (
     AuditLog,
     AuditRecord,
     AuditReport,
+    CertificateRecord,
     CircuitBreakerTripped,
+    DenialRecord,
     ReconstructionAuditor,
     ReleaseRecord,
 )
@@ -74,7 +76,9 @@ __all__ = [
     "AuditReport",
     "BasicAccountant",
     "BudgetExhausted",
+    "CertificateRecord",
     "CircuitBreakerTripped",
+    "DenialRecord",
     "MECHANISM_FACTORIES",
     "QueryServer",
     "RateLimit",

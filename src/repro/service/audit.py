@@ -120,12 +120,51 @@ class ReleaseRecord:
     timestamp: float
 
 
+@dataclass(frozen=True)
+class CertificateRecord:
+    """One compliance approval consulted by the gated server.
+
+    Logged whenever a gated registration or fallback activation is served
+    under a valid :class:`~repro.compliance.certificate.
+    ComplianceCertificate`; the certificate's content address and the
+    release fingerprint it binds make the approval independently
+    re-checkable from the log alone.
+    """
+
+    seq: int
+    analyst: str
+    subject: str
+    fingerprint: str
+    release_fingerprint: str
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class DenialRecord:
+    """One compliance refusal: the release the server would not serve.
+
+    Denials live in their own channel — they are *not* answer records
+    (nothing was released), so ``len(log)`` and the reconstruction
+    auditor's transcripts are untouched, but the refusal itself is
+    durable evidence.
+    """
+
+    seq: int
+    analyst: str
+    subject: str
+    reason: str
+    message: str
+    timestamp: float
+
+
 class AuditLog:
     """Append-only, thread-safe structured log of every served query."""
 
     def __init__(self):
         self._records: list[AuditRecord] = []
         self._releases: list[ReleaseRecord] = []
+        self._certificates: list[CertificateRecord] = []
+        self._denials: list[DenialRecord] = []
         self._lock = threading.Lock()
         self._seq = 0
 
@@ -195,6 +234,50 @@ class AuditLog:
         """Every noted synthetic release, in append order."""
         with self._lock:
             return tuple(self._releases)
+
+    def note_certificate(self, analyst: str, certificate) -> CertificateRecord:
+        """Record a consulted compliance approval (fingerprints only)."""
+        with self._lock:
+            record = CertificateRecord(
+                seq=self._seq,
+                analyst=analyst,
+                subject=certificate.subject,
+                fingerprint=certificate.fingerprint,
+                release_fingerprint=certificate.release_fingerprint,
+                timestamp=time.time(),
+            )
+            self._certificates.append(record)
+            self._seq += 1
+            return record
+
+    def note_denial(
+        self, analyst: str, subject: str, reason: str, message: str = ""
+    ) -> DenialRecord:
+        """Record a compliance refusal (its own channel, not an answer)."""
+        with self._lock:
+            record = DenialRecord(
+                seq=self._seq,
+                analyst=analyst,
+                subject=subject,
+                reason=reason,
+                message=message,
+                timestamp=time.time(),
+            )
+            self._denials.append(record)
+            self._seq += 1
+            return record
+
+    @property
+    def certificates(self) -> tuple[CertificateRecord, ...]:
+        """Every consulted compliance approval, in append order."""
+        with self._lock:
+            return tuple(self._certificates)
+
+    @property
+    def denials(self) -> tuple[DenialRecord, ...]:
+        """Every compliance refusal, in append order."""
+        with self._lock:
+            return tuple(self._denials)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -17,6 +17,14 @@ the later ones)::
                                                    BudgetExhausted    ▼
                                                                audit log ──► auditor
 
+When a :class:`~repro.compliance.gate.ComplianceGate` is configured, one
+step precedes all of the above — at session *registration* (not per
+query), the analyst's mechanism spec must hold a valid compliance
+certificate on the gate, and the synthetic-fallback release must hold one
+before it activates; refusals raise the typed
+:class:`~repro.compliance.gate.ComplianceDenied` and leave no budget,
+cache, or answer footprint.
+
 Concurrency model: every analyst owns an answerer instance (same private
 data, its own ``derive_rng(seed, "service", analyst)`` noise stream) and an
 answer cache, and requests serialize per analyst.  Cross-analyst state (the
@@ -34,6 +42,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.compliance.gate import ComplianceDenied, ComplianceGate
 from repro.privacy.accounting import (
     BasicAccountant,
     BudgetExhausted,
@@ -256,6 +265,14 @@ class QueryServer:
         synthetic_fallback: ``True`` or a :class:`SyntheticFallback` config
             to answer budget-exhausted analysts from one pre-paid synthetic
             release instead of refusing them.
+        compliance: an optional :class:`~repro.compliance.gate.
+            ComplianceGate`.  When set, registering an analyst's mechanism
+            spec and activating the synthetic-fallback release each require
+            a valid approval on the gate; refusals raise the typed
+            :class:`~repro.compliance.gate.ComplianceDenied` with zero
+            budget/cache/answer footprint, and both approvals and denials
+            are noted in the audit log.  The check runs at registration
+            and activation only — never on the per-query hot path.
     """
 
     def __init__(
@@ -268,6 +285,7 @@ class QueryServer:
         cache_entries: int | None = None,
         seed: int = 0,
         synthetic_fallback: SyntheticFallback | bool | None = None,
+        compliance: ComplianceGate | None = None,
     ):
         array = np.asarray(data)
         self._data = _validate_binary(array, array.size)
@@ -283,6 +301,7 @@ class QueryServer:
         elif synthetic_fallback is False:
             synthetic_fallback = None
         self.synthetic_fallback: SyntheticFallback | None = synthetic_fallback
+        self.compliance = compliance
         self._fallback_holder = _FallbackHolder()
         # Optional analyst -> cache override; a sharded front end points this
         # at views onto one shared striped per-shard cache.
@@ -342,6 +361,26 @@ class QueryServer:
                         density=config.density,
                         rng=derive_rng(self.seed, "service", config.account),
                     )
+                    if self.compliance is not None:
+                        # Activation requires a pre-registered approval of
+                        # these exact release bits (synthesis is seed-
+                        # deterministic, so an operator certifies the same
+                        # vector out of band).  A refusal rolls the charge
+                        # back: zero budget footprint, nothing activated.
+                        certificate = self.compliance.require(
+                            release,
+                            subject="synthetic-fallback",
+                            analyst=config.account,
+                        )
+                        self.audit_log.note_certificate(
+                            config.account, certificate
+                        )
+                except ComplianceDenied as denied:
+                    self.accountant.refund(config.account, 1, config.epsilon)
+                    self.audit_log.note_denial(
+                        config.account, denied.subject, denied.reason, str(denied)
+                    )
+                    raise
                 except BaseException:
                     self.accountant.refund(config.account, 1, config.epsilon)
                     raise
@@ -359,6 +398,21 @@ class QueryServer:
                     rng=derive_rng(self.seed, "service", analyst),
                     **self.mechanism_params,
                 )
+                spec = getattr(answerer, "spec", None)
+                if self.compliance is not None:
+                    # The gate runs once, at registration: an approved spec
+                    # fingerprint admits the analyst, anything else refuses
+                    # before any state, budget, cache, or answer exists.
+                    try:
+                        certificate = self.compliance.require(
+                            spec, subject="mechanism-spec", analyst=analyst
+                        )
+                    except ComplianceDenied as denied:
+                        self.audit_log.note_denial(
+                            analyst, denied.subject, denied.reason, str(denied)
+                        )
+                        raise
+                    self.audit_log.note_certificate(analyst, certificate)
                 if self._cache_factory is not None:
                     cache = self._cache_factory(analyst)
                 else:
@@ -368,7 +422,7 @@ class QueryServer:
                     cache=cache,
                     lock=threading.Lock(),
                     epsilon_per_query=per_query_epsilon(answerer),
-                    spec=getattr(answerer, "spec", None),
+                    spec=spec,
                 )
                 self._states[analyst] = state
             return state

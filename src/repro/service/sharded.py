@@ -47,6 +47,7 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.compliance.gate import ComplianceGate
 from repro.privacy.accounting import ShardedAccountant, stable_shard
 from repro.privacy.kernels import MechanismSpec
 from repro.queries.mechanism import QueryAnswerer
@@ -226,8 +227,11 @@ class ShardedQueryServer:
             per-analyst/global caps.  A plain :class:`ServiceAccountant`
             also works (it is simply shared across shards).
 
-    The auditor, accountant, synthetic-fallback release, and dataset are
-    shared across shards; caches and serving states are shard-local.
+    The auditor, accountant, synthetic-fallback release, compliance gate,
+    and dataset are shared across shards; caches and serving states are
+    shard-local.  One :class:`~repro.compliance.gate.ComplianceGate`
+    approval therefore admits a spec on every shard, and a denial refuses
+    it everywhere (logged in the refusing shard's audit log).
     """
 
     def __init__(
@@ -240,6 +244,7 @@ class ShardedQueryServer:
         cache_entries: int | None = None,
         seed: int = 0,
         synthetic_fallback: SyntheticFallback | bool | None = None,
+        compliance: ComplianceGate | None = None,
         *,
         shards: int = 16,
         cache_stripes: int = 8,
@@ -254,6 +259,7 @@ class ShardedQueryServer:
         self.shards = int(shards)
         self.accountant = accountant
         self.auditor = auditor
+        self.compliance = compliance
         self.rate_limit = rate_limit
         self._clock = clock
         self._shard_caches = tuple(
@@ -270,6 +276,7 @@ class ShardedQueryServer:
                 cache_entries=cache_entries,
                 seed=seed,
                 synthetic_fallback=synthetic_fallback,
+                compliance=compliance,
             )
             for _ in range(self.shards)
         )

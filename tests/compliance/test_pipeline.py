@@ -1,0 +1,124 @@
+"""Pipeline tests: deterministic checks, falsifiable verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.compliance import (
+    CompliancePipeline,
+    CompositionPolicyVerifier,
+    DpClaimVerifier,
+    ReconstructionResistanceVerifier,
+)
+from repro.legal.claims import LegalVerdict
+from repro.privacy.accounting import PrivacyAccountant
+from repro.synth import BinaryRelease
+
+
+def _pipeline(policy, seed=0):
+    return CompliancePipeline(
+        [
+            ReconstructionResistanceVerifier(),
+            DpClaimVerifier(),
+            CompositionPolicyVerifier(),
+        ],
+        policy,
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_verifiers_sorted_by_identifier(self, policy):
+        pipeline = _pipeline(policy)
+        assert [v.identifier for v in pipeline.verifiers] == [
+            "COMPOSE",
+            "DP-CLAIM",
+            "RECON",
+        ]
+
+    def test_duplicate_identifiers_rejected(self, policy):
+        with pytest.raises(ValueError, match="duplicate"):
+            CompliancePipeline(
+                [DpClaimVerifier(), DpClaimVerifier()], policy
+            )
+
+    def test_empty_pipeline_rejected(self, policy):
+        with pytest.raises(ValueError, match="at least one"):
+            CompliancePipeline([], policy)
+
+
+class TestApproval:
+    @pytest.fixture(scope="class")
+    def approval(self, secret, policy, dp_release):
+        accountant = PrivacyAccountant()
+        accountant.reserve(1, 1.0)
+        return _pipeline(policy).certify(
+            dp_release, data=secret, accountant=accountant, subject="good"
+        )
+
+    def test_every_check_passed(self, approval):
+        assert approval.approved
+        assert all(check.passed for check in approval.checks)
+        assert len(approval.checks) == 3
+
+    def test_verdict_is_derived_and_qualified(self, approval):
+        verdict = approval.verdict
+        assert isinstance(verdict, LegalVerdict)
+        assert verdict.claim.identifier == "Release-Approval"
+        assert "necessary condition only" in verdict.qualification
+        # The Section 2.4 falsifiability discipline: every premise carries
+        # evidence, and the stated modeling assumptions travel with it.
+        assert all(premise.established for premise in verdict.premises)
+        assert len(verdict.assumptions) == 2
+
+    def test_checks_in_canonical_order(self, approval):
+        assert [check.identifier for check in approval.checks] == [
+            "COMPOSE",
+            "DP-CLAIM",
+            "RECON",
+        ]
+
+
+class TestDenial:
+    @pytest.fixture(scope="class")
+    def denial(self, secret, policy, dp_release):
+        leak = BinaryRelease(
+            vector=np.array(secret, dtype=np.int64), spec=dp_release.spec
+        )
+        # No accountant either: COMPOSE must fail alongside RECON.
+        return _pipeline(policy).certify(leak, data=secret, subject="leak")
+
+    def test_denied_with_named_failures(self, denial):
+        assert not denial.approved
+        assert denial.failing == ("COMPOSE", "RECON")
+
+    def test_verdict_names_failing_checks(self, denial):
+        verdict = denial.verdict
+        assert verdict.claim.identifier == "Release-Denial"
+        assert "COMPOSE, RECON" in verdict.claim.conclusion
+        # Refutation premises: the measured violation is the established
+        # fact, so the denial also clears the falsifiability gate.
+        assert {premise.identifier for premise in verdict.premises} == {
+            "COMPOSE",
+            "RECON",
+        }
+        assert all(premise.established for premise in verdict.premises)
+        assert all(
+            "violated" in premise.statement for premise in verdict.premises
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_certificate(self, secret, policy, dp_release):
+        first = _pipeline(policy, seed=5).certify(dp_release, data=secret)
+        second = _pipeline(policy, seed=5).certify(dp_release, data=secret)
+        assert first.fingerprint == second.fingerprint
+
+    def test_different_seed_may_differ_but_stays_valid(
+        self, secret, policy, dp_release
+    ):
+        accountant = PrivacyAccountant()
+        accountant.reserve(1, 1.0)
+        other = _pipeline(policy, seed=6).certify(
+            dp_release, data=secret, accountant=accountant
+        )
+        assert other.validate(dp_release)

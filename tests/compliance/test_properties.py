@@ -1,0 +1,114 @@
+"""Property tests: determinism, order invariance, tamper evidence."""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compliance import (
+    ComplianceCertificate,
+    CompliancePipeline,
+    CompositionPolicyVerifier,
+    DpClaimVerifier,
+    Policy,
+    ReconstructionResistanceVerifier,
+    release_fingerprint,
+)
+from repro.privacy.accounting import PrivacyAccountant
+from repro.queries.mechanism import LaplaceAnswerer
+from repro.synth import BinaryRelease, synthesize_binary
+from repro.utils.rng import derive_rng
+
+#: Small instances: the properties are about wiring, not statistical power.
+_POLICY = Policy(name="prop-policy", dp_trials=60)
+_N = 16
+
+
+def _release(data_seed: int) -> BinaryRelease:
+    secret = derive_rng(data_seed, "prop-secret").integers(0, 2, size=_N)
+    return synthesize_binary(
+        secret, 1.0, 3, rng=derive_rng(data_seed, "prop-release")
+    )
+
+
+def _verifiers():
+    return [
+        DpClaimVerifier(),
+        CompositionPolicyVerifier(),
+        ReconstructionResistanceVerifier(),
+    ]
+
+
+def _certify(seed: int, data_seed: int, verifiers=None) -> ComplianceCertificate:
+    secret = derive_rng(data_seed, "prop-secret").integers(0, 2, size=_N)
+    accountant = PrivacyAccountant()
+    accountant.reserve(1, 1.0)
+    pipeline = CompliancePipeline(
+        verifiers if verifiers is not None else _verifiers(), _POLICY, seed=seed
+    )
+    return pipeline.certify(_release(data_seed), data=secret, accountant=accountant)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), data_seed=st.integers(0, 2**31 - 1))
+def test_fixed_seed_certificate_is_bit_deterministic(seed, data_seed):
+    first = _certify(seed, data_seed)
+    second = _certify(seed, data_seed)
+    assert first.fingerprint == second.fingerprint
+    assert first.checks == second.checks
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    order=st.permutations([0, 1, 2]),
+)
+def test_verifier_registration_order_is_irrelevant(seed, order):
+    verifiers = _verifiers()
+    shuffled = [verifiers[index] for index in order]
+    assert (
+        _certify(seed, 0, verifiers).fingerprint
+        == _certify(seed, 0, shuffled).fingerprint
+    )
+
+
+@settings(max_examples=16, deadline=None)
+@given(position=st.integers(0, _N - 1))
+def test_single_bit_release_tamper_fails_validation(position):
+    certificate = _certify(0, 0)
+    release = _release(0)
+    assert certificate.validate(release)
+    mutated = np.array(release.vector)
+    mutated[position] = 1 - mutated[position]
+    forged = BinaryRelease(vector=mutated, spec=release.spec)
+    assert release_fingerprint(forged) != certificate.release_fingerprint
+    assert not certificate.validate(forged)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    field=st.sampled_from(["subject", "approved", "seed", "release_fingerprint"]),
+)
+def test_any_field_tamper_is_self_evident(field):
+    certificate = _certify(0, 0)
+    tampered_value = {
+        "subject": certificate.subject + "x",
+        "approved": not certificate.approved,
+        "seed": certificate.seed + 1,
+        "release_fingerprint": certificate.release_fingerprint[::-1],
+    }[field]
+    tampered = dataclasses.replace(
+        certificate, **{field: tampered_value}, fingerprint=certificate.fingerprint
+    )
+    assert tampered.tampered()
+    assert not tampered.validate(_release(0))
+
+
+@settings(max_examples=8, deadline=None)
+@given(epsilon=st.floats(0.1, 4.0, allow_nan=False))
+def test_spec_fingerprint_separates_epsilons(epsilon):
+    secret = np.zeros(_N, dtype=np.int64)
+    base = LaplaceAnswerer(secret, 0.05).spec
+    other = LaplaceAnswerer(secret, epsilon).spec
+    assert release_fingerprint(base) != release_fingerprint(other)

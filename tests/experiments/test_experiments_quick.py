@@ -140,6 +140,29 @@ class TestExtensionExperiments:
         assert result.headline["jobs_invariant"] is True
         assert result.headline["records_per_second"] > 0
 
+    def test_e21_release_approval(self):
+        result = run_experiment("E21", quick=True)
+        # The DP release is certified; the leaky ones are denied with the
+        # failing requirement named in the verdict.
+        assert result.headline["mwem_approved"] is True
+        assert result.headline["independent_denied"] is True
+        assert "DP-CLAIM" in result.headline["independent_failing"]
+        assert result.headline["mondrian_denied"] is True
+        assert "K-ANON" in result.headline["mondrian_failing"]
+        # The gate refuses uncertified mechanisms with zero footprint...
+        assert result.headline["service_denied_reason"] == "no-certificate"
+        assert result.headline["denial_footprint_records"] == 0
+        assert result.headline["denial_footprint_epsilon"] == 0.0
+        # ...serves after approval, and only activates the synthetic
+        # fallback once its exact bits are certified.
+        assert result.headline["interactive_answers"] == 6
+        assert result.headline["fallback_denied_before_approval"] is True
+        assert result.headline["fallback_refunded"] is True
+        assert result.headline["fallback_activated"] is True
+        assert result.headline["fallback_answer_matches"] is True
+        assert result.headline["exact_denied"] is True
+        assert result.headline["fallback_agreement"] < 0.95
+
 
 class TestFigures:
     def test_e3_and_e8_carry_figures(self):

@@ -46,3 +46,19 @@ def test_e18_quick_headline_bit_identical():
     assert float(headline["dashboard_cache_hit_rate"]).hex() == "0x1.eb851eb851eb8p-1"
     assert float(headline["dashboard_replay_drift"]).hex() == "0x0.0p+0"
     assert float(headline["attacker_epsilon_spent"]).hex() == "0x1.f000000000000p+6"
+
+
+def test_e21_quick_headline_bit_identical():
+    headline = run_experiment("E21", seed=0, quick=True).headline
+    assert headline["mwem_approved"] is True
+    assert headline["independent_failing"] == "DP-CLAIM"
+    assert headline["mondrian_failing"] == "DP-CLAIM, K-ANON"
+    assert headline["mondrian_achieved_k"] == 4
+    assert headline["mwem_certificate"] == "ff7cb54062580a4d13f72542b8b38a7f"
+    assert float(headline["mwem_max_log_ratio"]).hex() == "0x1.ede65f58845bdp-3"
+    assert float(headline["fallback_agreement"]).hex() == "0x1.2000000000000p-1"
+    assert float(headline["census_epsilon_charged"]).hex() == "0x1.0000000000000p+0"
+    assert float(headline["interactive_epsilon"]).hex() == "0x1.8000000000000p+1"
+    assert headline["denials_logged"] == 2
+    assert headline["certificates_logged"] == 2
+    assert headline["gate_approvals"] == 2

@@ -70,3 +70,51 @@ class TestDeletionCompliance:
         assert extract_secret(model, prefix, 4) == secret  # memorized
         model.unfit(prefix + secret)
         assert extract_secret(model, prefix, 4) != secret  # forgotten
+
+
+class TestDeletionInThePipeline:
+    """The erasure check rides the release-approval pipeline end to end."""
+
+    def test_deletion_verifier_feeds_an_approval(self):
+        from repro.compliance import (
+            CompliancePipeline,
+            DeletionVerifier,
+            Policy,
+        )
+        from repro.synth import synthesize_binary
+        from repro.utils.rng import derive_rng
+
+        corpus = synthetic_corpus(12, rng=5)
+        release = synthesize_binary(
+            derive_rng(5, "deletion-release").integers(0, 2, size=24),
+            1.0,
+            3,
+            rng=derive_rng(5, "deletion-noise"),
+        )
+        pipeline = CompliancePipeline(
+            [DeletionVerifier(delete_index=2, order=4)], Policy(), seed=0
+        )
+        certificate = pipeline.certify(release, data=corpus, subject="served-model")
+        assert certificate.approved
+        check = certificate.checks[0]
+        assert check.identifier == "DELETION"
+        assert check.measurements["delete_index"] == 2
+        # The pipeline premise records the same fact the standalone
+        # certificate packages as legal evidence.
+        standalone = deletion_certificate(corpus, 2, order=4)
+        assert standalone.passed
+        assert (
+            standalone.measurements["corpus_documents"]
+            == check.measurements["corpus_documents"]
+        )
+
+    def test_custom_order_changes_the_probe_model(self):
+        corpus = synthetic_corpus(10, rng=6)
+        assert verify_exact_deletion(corpus, 1, order=2)
+        assert verify_exact_deletion(corpus, 1, order=7)
+
+    def test_certificate_order_recorded(self):
+        corpus = synthetic_corpus(8, rng=7)
+        certificate = deletion_certificate(corpus, 4, order=3)
+        assert certificate.measurements["model_order"] == 3
+        assert certificate.measurements["deleted_index"] == 4

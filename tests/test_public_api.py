@@ -27,6 +27,30 @@ class TestTopLevelExports:
         symbols = list(repro.__all__)
         assert symbols == sorted(symbols)
 
+    def test_derivation_api_via_top_level(self):
+        # The legal derivation surface is a first-class export: a claim
+        # derived from an established premise comes back as a verdict.
+        check = repro.TheoremCheck(
+            theorem="smoke", claim="c", passed=True, measurements={}
+        )
+        premise = repro.TechnicalPremise(
+            identifier="P1", statement="measured", evidence=check
+        )
+        from repro.legal.claims import LegalClaim
+
+        claim = LegalClaim(identifier="C1", conclusion="ok", rule="P1 => C1")
+        verdict = repro.derive(claim, [], [premise])
+        assert isinstance(verdict, repro.LegalVerdict)
+
+    def test_compliance_surface_via_top_level(self):
+        assert issubclass(repro.ComplianceDenied, RuntimeError)
+        for name in (
+            "ComplianceCertificate",
+            "CompliancePipeline",
+            "ComplianceDenied",
+        ):
+            assert getattr(repro, name) is not None
+
     def test_subpackages_importable(self):
         import importlib
 
@@ -43,6 +67,7 @@ class TestTopLevelExports:
             "repro.legal",
             "repro.lm",
             "repro.ml",
+            "repro.compliance",
             "repro.service",
             "repro.synth",
             "repro.experiments",
@@ -64,6 +89,7 @@ class TestTopLevelExports:
             "repro.attacks",
             "repro.legal",
             "repro.reconstruction",
+            "repro.compliance",
             "repro.service",
             "repro.synth",
         ):
