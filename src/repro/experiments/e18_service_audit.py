@@ -35,8 +35,19 @@ from repro.utils.tables import Table
 
 
 @register("E18")
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Serve attacker + benign sessions; report the auditor's verdicts."""
+def run(
+    seed: int = 0, quick: bool = False, audit_dispatch: str = "inline"
+) -> ExperimentResult:
+    """Serve attacker + benign sessions; report the auditor's verdicts.
+
+    ``audit_dispatch="background"`` replays the same deployment through
+    :class:`~repro.service.AuditWorkerPool`: verdicts are computed by
+    background auditor workers off the serving path, with a flush after
+    every workload batch so each pass lands before the next batch's
+    compliance check — the trip point, replayed agreements, and every
+    headline value are bit-identical to the inline run.  The default stays
+    inline so the golden headlines are the single-threaded reference.
+    """
     n = 128 if quick else 256
     epsilon_per_query = 0.25
     threshold = 0.8
@@ -69,6 +80,7 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         accountant=accountant,
         auditor=auditor,
         seed=seed,
+        audit_dispatch=audit_dispatch,
     )
 
     # --- attacker: streams fresh random workloads until the breaker opens.
@@ -81,6 +93,10 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         workload = Workload.random(n, batch, rng=attack_rng)
         try:
             attacker.ask_workload(workload)
+            # Under a background dispatch, wait for the pass this batch may
+            # have signalled; the verdict then gates the next batch exactly
+            # where the inline auditor would have tripped.
+            server.audit_dispatch.flush()
             queries_served += len(workload)
         except CircuitBreakerTripped as refusal:
             tripped = True
@@ -101,6 +117,9 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     researcher.ask_workload(
         Workload.random(n, n // 4 + n // 8, rng=derive_rng(seed, "e18-research"))
     )
+    # Settle any in-flight background passes before reading verdicts, and
+    # retire worker threads; both are no-ops for the inline dispatch.
+    server.close()
 
     trajectory = Table(
         ["unique queries", "replayed agreement", "flagged"],

@@ -17,17 +17,13 @@ everywhere::
         QueryServer charges the spec's spend; verify_spec() empirically
         tests the very same MechanismSpec the accountant charged.
 
-Migration note (PR 4): ``PrivacySpend``/``PrivacyAccountant`` and the
-composition functions moved here from ``repro.dp.composition``;
-``BudgetExhausted`` and the service accountants moved here from
-``repro.service.accountant``.  Both old module paths remain as thin
-re-export shims, so existing imports keep working.
 """
 
 from repro.privacy.accounting import (
     AdvancedAccountant,
     BasicAccountant,
     BudgetExhausted,
+    BudgetLease,
     PrivacyAccountant,
     PrivacySpend,
     ServiceAccountant,
@@ -52,6 +48,7 @@ __all__ = [
     "BoundedExtremesKernel",
     "BoundedUniformKernel",
     "BudgetExhausted",
+    "BudgetLease",
     "GaussianKernel",
     "GeometricKernel",
     "LaplaceKernel",

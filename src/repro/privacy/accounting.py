@@ -23,8 +23,8 @@ Before this layer existed, ``repro.dp.composition`` and
 machinery and ``repro.queries.mechanism.BudgetedAnswerer`` kept a private
 counter; Cohen–Nissim's *Linear Program Reconstruction in Practice* shows
 that exactly this kind of drift between accounting layers is where
-production privacy bugs live.  The old module paths remain as re-export
-shims.
+production privacy bugs live.  The old module paths have been removed;
+this module is the single home.
 """
 
 from __future__ import annotations
@@ -41,6 +41,7 @@ __all__ = [
     "AdvancedAccountant",
     "BasicAccountant",
     "BudgetExhausted",
+    "BudgetLease",
     "PrivacyAccountant",
     "PrivacySpend",
     "ServiceAccountant",
@@ -516,11 +517,89 @@ class ServiceAccountant(PrivacyAccountant, ABC):
             ledger.rollback(count, epsilon_per_query)
             super().rollback(count, epsilon_per_query)
 
+    def lease(self, analyst: str, count: int, epsilon_per_query: float) -> "BudgetLease":
+        """Charge now, with a typed handle to roll the charge back.
+
+        The serve pipeline's ``BudgetReserve`` stage contract: the charge
+        lands atomically (identical verdicts to :meth:`charge`), and the
+        returned :class:`BudgetLease` is either committed once the request
+        is actually served or rolled back if a later stage fails — no
+        budget is ever burned for an answer that was never released.
+        """
+        return BudgetLease.acquire(self, analyst, count, epsilon_per_query)
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(global_spent={self.global_spent():.4f}, "
             f"per_analyst_budget={self.per_analyst_epsilon}, "
             f"global_budget={self.global_epsilon})"
+        )
+
+
+class BudgetLease:
+    """A held (not yet settled) budget charge: the serve-stage contract.
+
+    ``acquire`` performs the all-or-nothing charge immediately — so refusal
+    points and :class:`BudgetExhausted` verdicts are bit-identical to a
+    plain ``charge`` — but hands back an object that must be *settled*:
+    :meth:`commit` once the answers were actually released, or
+    :meth:`rollback` to refund the charge when a later pipeline stage
+    (mechanism execution, cache insert, audit append) raises.  Works
+    against any accountant exposing ``charge``/``refund`` with the service
+    signature (:class:`ServiceAccountant` and :class:`ShardedAccountant`).
+
+    Settling is idempotent and single-shot: a committed lease refuses to
+    roll back, and a rolled-back lease refunds exactly once.
+    """
+
+    __slots__ = ("accountant", "analyst", "count", "epsilon_per_query", "_state")
+
+    _HELD, _COMMITTED, _ROLLED_BACK = "held", "committed", "rolled_back"
+
+    def __init__(self, accountant, analyst: str, count: int, epsilon_per_query: float):
+        self.accountant = accountant
+        self.analyst = analyst
+        self.count = int(count)
+        self.epsilon_per_query = float(epsilon_per_query)
+        self._state = self._HELD
+
+    @classmethod
+    def acquire(
+        cls, accountant, analyst: str, count: int, epsilon_per_query: float
+    ) -> "BudgetLease":
+        """Charge ``count`` queries at ``epsilon_per_query`` and hold them."""
+        accountant.charge(analyst, count, epsilon_per_query)
+        return cls(accountant, analyst, count, epsilon_per_query)
+
+    @property
+    def settled(self) -> bool:
+        """Whether the lease has been committed or rolled back."""
+        return self._state != self._HELD
+
+    @property
+    def committed(self) -> bool:
+        """Whether the charge was committed (answers released)."""
+        return self._state == self._COMMITTED
+
+    def commit(self) -> None:
+        """Finalize the charge; after this, rollback refuses."""
+        if self._state == self._ROLLED_BACK:
+            raise RuntimeError("cannot commit a rolled-back budget lease")
+        self._state = self._COMMITTED
+
+    def rollback(self) -> None:
+        """Refund the held charge (idempotent; refuses after commit)."""
+        if self._state == self._COMMITTED:
+            raise RuntimeError("cannot roll back a committed budget lease")
+        if self._state == self._ROLLED_BACK:
+            return
+        self._state = self._ROLLED_BACK
+        self.accountant.refund(self.analyst, self.count, self.epsilon_per_query)
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetLease(analyst={self.analyst!r}, count={self.count}, "
+            f"epsilon_per_query={self.epsilon_per_query}, state={self._state!r})"
         )
 
 
@@ -821,6 +900,10 @@ class ShardedAccountant:
             # The freed headroom goes back to the refunding shard's lease;
             # spend dropped by exactly delta, so the invariant holds.
             self._leases[index].deposit(delta)
+
+    def lease(self, analyst: str, count: int, epsilon_per_query: float) -> BudgetLease:
+        """Charge-and-hold, the :meth:`ServiceAccountant.lease` contract."""
+        return BudgetLease.acquire(self, analyst, count, epsilon_per_query)
 
     # -- read access (always exact; leases are invisible here) --------------
 

@@ -6,12 +6,18 @@ reconstruction was demonstrated against a *production* query server
 layer only bites once a mechanism sits behind an interface.  This
 subpackage is that interface, in-process:
 
+* :mod:`repro.service.pipeline` — the staged serve path every server
+  drives requests through (Admission -> Compliance -> CacheLookup ->
+  BudgetReserve -> Execute -> CachePut -> AuditAppend), with pluggable
+  :class:`ExecutionBackend` (inline / thread / process) for the Execute
+  stage;
 * :mod:`repro.service.server` — :class:`QueryServer`, multi-analyst
   sessions routing queries and workloads to a configured mechanism;
 * :mod:`repro.privacy.accounting` — pluggable per-analyst/global epsilon
-  ledgers (basic and advanced composition) with all-or-nothing charges and
-  typed :class:`BudgetExhausted` refusals (``repro.service.accountant`` is
-  a deprecated re-export shim);
+  ledgers (basic and advanced composition) with all-or-nothing charges,
+  typed :class:`BudgetExhausted` refusals, and the
+  :class:`~repro.privacy.accounting.BudgetLease` reserve/rollback contract
+  the BudgetReserve stage holds;
 * :mod:`repro.service.cache` — canonical query fingerprints and the answer
   cache that makes repeated queries free and bit-identical (consistency),
   plus the striped LRU cache concurrent sessions share;
@@ -20,7 +26,10 @@ subpackage is that interface, in-process:
   caches, and token-bucket admission control (typed :class:`Rejected`);
 * :mod:`repro.service.audit` — the append-only audit log and the online
   :class:`ReconstructionAuditor` that replays logged transcripts through
-  LP decoding and trips a per-analyst circuit breaker.
+  LP decoding and trips a per-analyst circuit breaker;
+* :mod:`repro.service.audit_worker` — audit dispatch: run auditor passes
+  inline (default) or on background workers tailing the log per analyst
+  shard (:class:`AuditWorkerPool`).
 
 Experiment E18 and ``benchmarks/bench_service_throughput.py`` exercise the
 whole stack end to end.
@@ -30,6 +39,7 @@ from repro.privacy.accounting import (
     AdvancedAccountant,
     BasicAccountant,
     BudgetExhausted,
+    BudgetLease,
     ServiceAccountant,
     ShardedAccountant,
     stable_shard,
@@ -44,12 +54,31 @@ from repro.service.audit import (
     ReconstructionAuditor,
     ReleaseRecord,
 )
+from repro.service.audit_worker import (
+    AuditDispatch,
+    AuditWorkerPool,
+    InlineAuditDispatch,
+    NullAuditDispatch,
+    resolve_audit_dispatch,
+)
 from repro.service.cache import (
     AnalystCacheView,
     AnswerCache,
     StripedAnswerCache,
     query_fingerprint,
     workload_fingerprints,
+)
+from repro.service.pipeline import (
+    EXECUTION_BACKENDS,
+    AdmissionControl,
+    ExecutionBackend,
+    InlineExecutionBackend,
+    Outcome,
+    ProcessExecutionBackend,
+    Request,
+    ServePipeline,
+    ThreadExecutionBackend,
+    resolve_execution_backend,
 )
 from repro.service.server import (
     MECHANISM_FACTORIES,
@@ -67,33 +96,49 @@ from repro.service.sharded import (
 )
 
 __all__ = [
+    "AdmissionControl",
     "AdvancedAccountant",
     "AnalystCacheView",
     "AnalystSession",
     "AnswerCache",
+    "AuditDispatch",
     "AuditLog",
     "AuditRecord",
     "AuditReport",
+    "AuditWorkerPool",
     "BasicAccountant",
     "BudgetExhausted",
+    "BudgetLease",
     "CertificateRecord",
     "CircuitBreakerTripped",
     "DenialRecord",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "InlineAuditDispatch",
+    "InlineExecutionBackend",
     "MECHANISM_FACTORIES",
+    "NullAuditDispatch",
+    "Outcome",
+    "ProcessExecutionBackend",
     "QueryServer",
     "RateLimit",
     "ReconstructionAuditor",
     "Rejected",
     "ReleaseRecord",
+    "Request",
+    "ServePipeline",
     "ServiceAccountant",
     "ShardedAccountant",
     "ShardedAnalystSession",
     "ShardedQueryServer",
     "StripedAnswerCache",
     "SyntheticFallback",
+    "ThreadExecutionBackend",
     "make_answerer",
     "per_query_epsilon",
     "query_fingerprint",
+    "resolve_audit_dispatch",
+    "resolve_execution_backend",
     "stable_shard",
     "workload_fingerprints",
 ]

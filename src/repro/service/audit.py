@@ -167,6 +167,13 @@ class AuditLog:
         self._denials: list[DenialRecord] = []
         self._lock = threading.Lock()
         self._seq = 0
+        # Per-analyst append-order index, plus an incremental cursor for
+        # unique_records: (seen fingerprints, unique list, rows consumed).
+        # Background audit workers poll the log after every append burst,
+        # so the effective-transcript query must cost O(new records), not
+        # O(whole log).
+        self._by_analyst: dict[str, list[AuditRecord]] = {}
+        self._unique_cursors: dict[str, tuple[set, list, int]] = {}
 
     def append(
         self,
@@ -213,6 +220,10 @@ class AuditLog:
                 source=source,
             )
             self._records.append(record)
+            rows = self._by_analyst.get(analyst)
+            if rows is None:
+                rows = self._by_analyst[analyst] = []
+            rows.append(record)
             self._seq += 1
             return record
 
@@ -285,24 +296,36 @@ class AuditLog:
     def records(self, analyst: str | None = None) -> tuple[AuditRecord, ...]:
         """All records (optionally one analyst's), in append order."""
         with self._lock:
-            snapshot = tuple(self._records)
-        if analyst is None:
-            return snapshot
-        return tuple(r for r in snapshot if r.analyst == analyst)
+            if analyst is None:
+                return tuple(self._records)
+            return tuple(self._by_analyst.get(analyst, ()))
 
     def unique_records(self, analyst: str) -> tuple[AuditRecord, ...]:
         """One record per distinct fingerprint (first release wins).
 
         This is the analyst's effective reconstruction transcript: repeats
-        replay the same released answer and add no information.
+        replay the same released answer and add no information.  Computed
+        incrementally — only records appended since the previous call are
+        scanned — so the auditor's per-append cadence check stays cheap on
+        long transcripts.
         """
-        seen: set[bytes] = set()
-        unique = []
-        for record in self.records(analyst):
-            if record.fingerprint not in seen:
-                seen.add(record.fingerprint)
-                unique.append(record)
-        return tuple(unique)
+        with self._lock:
+            rows = self._by_analyst.get(analyst)
+            if rows is None:
+                return ()
+            cursor = self._unique_cursors.get(analyst)
+            if cursor is None:
+                seen: set[bytes] = set()
+                unique: list[AuditRecord] = []
+                consumed = 0
+            else:
+                seen, unique, consumed = cursor
+            for record in rows[consumed:]:
+                if record.fingerprint not in seen:
+                    seen.add(record.fingerprint)
+                    unique.append(record)
+            self._unique_cursors[analyst] = (seen, unique, len(rows))
+            return tuple(unique)
 
     def export_jsonl(self, path) -> int:
         """Write the log as JSON lines; returns the number of records."""

@@ -187,8 +187,12 @@ class StripedAnswerCache:
         per_stripe = None if max_entries is None else -(-max_entries // self.stripes)
         self._stripes = tuple(AnswerCache(per_stripe) for _ in range(self.stripes))
 
+    def stripe_index(self, fingerprint: bytes) -> int:
+        """Which stripe holds ``fingerprint`` (stable for a fixed stripe count)."""
+        return int.from_bytes(fingerprint[:8], "little") % self.stripes
+
     def _stripe(self, fingerprint: bytes) -> AnswerCache:
-        return self._stripes[int.from_bytes(fingerprint[:8], "little") % self.stripes]
+        return self._stripes[self.stripe_index(fingerprint)]
 
     def __len__(self) -> int:
         return sum(len(stripe) for stripe in self._stripes)

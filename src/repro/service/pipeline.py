@@ -1,0 +1,1057 @@
+"""The staged serve pipeline: one fixed stage list, many drivers.
+
+PRs 3-8 grew ``QueryServer._serve``/``_serve_workload`` into a ~250-line
+monolith where admission, compliance, caching, budget reservation, noise
+sampling, and audit logging interleaved under one lock discipline — which
+blocked both remaining scale items (a front end that escapes the GIL for
+uncached traffic, and background audit workers).  This module decomposes
+the serve path into the fixed sequence
+
+    Admission -> Compliance -> CacheLookup -> BudgetReserve -> Execute
+              -> CachePut -> AuditAppend
+
+where each stage is a small, separately testable unit and every server
+(:class:`~repro.service.server.QueryServer`, the sharded front end) is a
+thin driver over the same stage list.  The frozen :class:`Request` /
+:class:`Outcome` pair is the typed boundary an external (async, RPC)
+front end drives the pipeline through; the in-process servers call the
+drivers directly.
+
+**Bit-identity contract.**  The stages perform exactly the operations of
+the pre-refactor monolith, in exactly the same order, under the same
+per-analyst lock window (``Compliance`` through ``AuditAppend``; admission
+runs outside it and has zero budget/cache/audit footprint).  Golden tests
+pin served answers, budget-exhaustion points, compliance denials, and E18
+headlines across the refactor and across every execution backend.
+
+**Execution backends.**  The ``Execute`` stage delegates mechanism calls
+to a pluggable :class:`ExecutionBackend`:
+
+``"inline"``
+    The calling thread answers (the pre-refactor behavior, and the
+    default).
+``"thread"``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor` answers.
+    NumPy noise sampling releases the GIL, so serving threads stay
+    responsive while big uncached batches draw.
+``"process"``
+    A persistent fork-based process pool
+    (:func:`repro.utils.parallel.shared_fork_executor`) answers.  Noise
+    is bit-identical to inline because the per-analyst ``Generator``
+    *state* travels with each call: the parent ships the analyst's
+    current ``bit_generator.state`` plus the packed query masks (already
+    produced by fingerprinting), the worker rebuilds the analyst's
+    answerer from the same ``derive_rng(seed, "service", analyst)``
+    construction path, restores the stream position, answers, and ships
+    the advanced state back.  Workers cache one answerer per
+    (server, analyst), so steady-state traffic moves only a few hundred
+    bytes per call.  Select per server via the ``execution`` argument or
+    globally via the ``REPRO_EXEC_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.privacy.accounting import BudgetExhausted, BudgetLease
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.service.cache import fingerprint_and_packed, workload_fingerprints_packed
+from repro.utils.parallel import fork_available, shared_fork_executor
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:
+    from repro.service.server import QueryServer, _AnalystState
+
+__all__ = [
+    "EXECUTION_BACKENDS",
+    "AdmissionControl",
+    "AuditAppendStage",
+    "BudgetReserveStage",
+    "CacheLookupStage",
+    "CachePutStage",
+    "ComplianceStage",
+    "ExecuteStage",
+    "Exchange",
+    "ExecutionBackend",
+    "InlineExecutionBackend",
+    "Outcome",
+    "ProcessExecutionBackend",
+    "Request",
+    "ServePipeline",
+    "ThreadExecutionBackend",
+    "resolve_execution_backend",
+]
+
+#: Recognized execution backend names, in documentation order.
+EXECUTION_BACKENDS = ("inline", "thread", "process")
+
+#: Environment variable selecting the default execution backend.
+EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
+
+
+# ---------------------------------------------------------------------------
+# Typed request/outcome boundary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of serve work: a single query or a packed workload."""
+
+    analyst: str
+    query: SubsetQuery | None = None
+    workload: Workload | None = None
+
+    def __post_init__(self) -> None:
+        if (self.query is None) == (self.workload is None):
+            raise ValueError("a Request carries exactly one of query/workload")
+
+    @property
+    def single(self) -> bool:
+        """Whether this is a single-query request."""
+        return self.query is not None
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What the pipeline released for one :class:`Request`.
+
+    ``answer`` is set for single-query requests, ``answers`` (a tuple, so
+    the outcome stays hashable/frozen) for workloads.  ``epsilon_charged``
+    is the total budget this request consumed (0 for pure replay and for
+    synthetic-fallback service).
+    """
+
+    analyst: str
+    answer: float | None
+    answers: tuple[float, ...] | None
+    cached: bool
+    synthetic: bool
+    fresh_queries: int
+    epsilon_charged: float
+
+
+class Exchange:
+    """Mutable per-request state threaded through the stages.
+
+    One exchange lives strictly inside one driver invocation (and, for
+    the serving stages, inside the per-analyst lock), so it needs no
+    synchronization.  Slotted: the cached-replay hot path allocates none,
+    and the miss path's allocation cost is noise next to a mechanism call.
+    """
+
+    __slots__ = (
+        "server",
+        "state",
+        "analyst",
+        "single",
+        # single-query shape
+        "query",
+        "mask",
+        "fingerprint",
+        "packed",
+        "size",
+        "cached_answer",
+        "done",
+        "answer",
+        # workload shape
+        "workload",
+        "fingerprints",
+        "packed_rows",
+        "sizes",
+        "looked_up",
+        "miss_rows",
+        "miss_fps",
+        "answer_by_fp",
+        "fresh_entries",
+        "answers",
+        # budget stage contract
+        "epsilon",
+        "lease",
+        "synthetic",
+    )
+
+    def __init__(
+        self,
+        server: "QueryServer",
+        state: "_AnalystState",
+        analyst: str,
+        *,
+        query: SubsetQuery | None = None,
+        workload: Workload | None = None,
+    ):
+        self.server = server
+        self.state = state
+        self.analyst = analyst
+        self.single = workload is None
+        self.query = query
+        self.workload = workload
+        self.mask = None
+        self.fingerprint = None
+        self.packed = None
+        self.size = 0
+        self.cached_answer = None
+        self.done = False
+        self.answer = None
+        self.fingerprints = None
+        self.packed_rows = None
+        self.sizes = None
+        self.looked_up = None
+        self.miss_rows = None
+        self.miss_fps = None
+        self.answer_by_fp = None
+        self.fresh_entries = None
+        self.answers = None
+        self.epsilon = 0.0
+        self.lease = None
+        self.synthetic = False
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+class AdmissionControl:
+    """The ``Admission`` stage: token bucket + in-flight gate, pre-lock.
+
+    Runs *before* the per-analyst serialization lock and has zero budget,
+    cache, and audit footprint — a rejected request never reached the
+    mechanism.  Duck-typed over the sharded front end's bucket
+    (``admit(analyst)``) and gate (``acquire(analyst)``/``release()``)
+    so the stage itself carries no admission policy.
+    """
+
+    __slots__ = ("bucket", "gate")
+
+    name = "admission"
+
+    def __init__(self, bucket=None, gate=None):
+        self.bucket = bucket
+        self.gate = gate
+
+    def enter(self, analyst: str) -> None:
+        """Admit or raise (:class:`~repro.service.sharded.Rejected`)."""
+        if self.bucket is not None:
+            self.bucket.admit(analyst)
+        if self.gate is not None:
+            self.gate.acquire(analyst)
+
+    def exit(self, analyst: str) -> None:
+        """Release the in-flight slot taken by a successful :meth:`enter`."""
+        if self.gate is not None:
+            self.gate.release()
+
+
+class ComplianceStage:
+    """Per-request compliance: the auditor's circuit breaker.
+
+    The expensive compliance work happens elsewhere, off the hot path —
+    certificate verification at session *registration* (see
+    ``QueryServer._state``) and reconstruction passes in the auditor —
+    this stage only enforces their verdicts: a tripped analyst is refused
+    with ``CircuitBreakerTripped`` before any budget or cache touch.
+    """
+
+    __slots__ = ("_auditor",)
+
+    name = "compliance"
+
+    def __init__(self, auditor):
+        self._auditor = auditor
+
+    def check(self, analyst: str) -> None:
+        """Raise if the analyst's breaker is open; no-op unaudited."""
+        if self._auditor is not None:
+            self._auditor.check(analyst)
+
+    def single(self, x: Exchange) -> None:
+        self.check(x.analyst)
+
+    def batch(self, x: Exchange) -> None:
+        self.check(x.analyst)
+
+
+class CacheLookupStage:
+    """Fingerprint the request and consult the analyst's answer cache.
+
+    Budget footprint: none (hits are post-processing).  Cache footprint:
+    read + LRU touch.  Produces the packed mask bytes the later stages
+    reuse (audit records, process-backend wire format) so bit-packing
+    runs exactly once per request.
+    """
+
+    __slots__ = ()
+
+    name = "cache_lookup"
+
+    @staticmethod
+    def probe(state, mask) -> tuple[bytes, bytes, int, float | None]:
+        """``(fingerprint, packed, size, cached_answer)`` for one mask."""
+        fingerprint, packed = fingerprint_and_packed(mask)
+        size = int(np.count_nonzero(mask))
+        return fingerprint, packed, size, state.cache.get(fingerprint)
+
+    def single(self, x: Exchange) -> None:
+        mask = x.query.mask
+        x.mask = mask
+        x.fingerprint, x.packed, x.size, cached = self.probe(x.state, mask)
+        if cached is not None:
+            x.cached_answer = cached
+            x.done = True
+
+    def batch(self, x: Exchange) -> None:
+        fingerprints, packed_rows, sizes = workload_fingerprints_packed(x.workload)
+        x.fingerprints = fingerprints
+        x.packed_rows = packed_rows
+        x.sizes = sizes
+        looked_up = x.state.cache.lookup_many(fingerprints)
+        x.looked_up = looked_up
+        miss_rows: list[int] = []
+        miss_fps: list[bytes] = []
+        seen: set[bytes] = set()
+        for row, (fingerprint, hit) in enumerate(zip(fingerprints, looked_up)):
+            if hit is None and fingerprint not in seen:
+                seen.add(fingerprint)
+                miss_rows.append(row)
+                miss_fps.append(fingerprint)
+        x.miss_rows = miss_rows
+        x.miss_fps = miss_fps
+        x.answer_by_fp = {
+            fingerprint: hit
+            for fingerprint, hit in zip(fingerprints, looked_up)
+            if hit is not None
+        }
+
+
+class BudgetReserveStage:
+    """Charge the misses all-or-nothing, held as a :class:`BudgetLease`.
+
+    Verdicts (including the :class:`BudgetExhausted` raise points and
+    messages) are bit-identical to the pre-refactor direct ``charge``;
+    the lease only adds the rollback path the driver invokes when a later
+    stage fails, so budget is never burned for answers never released.
+    With a synthetic fallback configured, a refused charge flips the
+    exchange to synthetic service (zero further epsilon) instead of
+    propagating.
+    """
+
+    __slots__ = ()
+
+    name = "budget_reserve"
+
+    @staticmethod
+    def reserve(x: Exchange, count: int) -> None:
+        x.epsilon = x.state.epsilon_per_query
+        try:
+            x.lease = BudgetLease.acquire(
+                x.server.accountant, x.analyst, count, x.epsilon
+            )
+        except BudgetExhausted:
+            if x.server.synthetic_fallback is None:
+                raise
+            x.synthetic = True
+
+    def single(self, x: Exchange) -> None:
+        self.reserve(x, 1)
+
+    def batch(self, x: Exchange) -> None:
+        if not x.miss_rows:
+            x.epsilon = x.state.epsilon_per_query
+            return
+        self.reserve(x, len(x.miss_rows))
+
+
+class ExecuteStage:
+    """Run the mechanism (or the synthetic fallback) for the misses.
+
+    The only stage that draws noise; everything else is bookkeeping.
+    Mechanism calls go through the bound :class:`ExecutionBackend`;
+    synthetic-fallback answers are exact post-processing of the pre-paid
+    release and always compute inline.
+    """
+
+    __slots__ = ("_bound",)
+
+    name = "execute"
+
+    def __init__(self, bound: "BoundExecution"):
+        self._bound = bound
+
+    @property
+    def bound(self) -> "BoundExecution":
+        """The backend binding answering this server's mechanism calls."""
+        return self._bound
+
+    def single(self, x: Exchange) -> None:
+        if x.synthetic:
+            x.answer = float(x.server._fallback().answer(x.mask))
+        else:
+            x.answer = self._bound.answer(x.state, x.analyst, x.query, x.packed)
+
+    def batch(self, x: Exchange) -> None:
+        if not x.miss_rows:
+            return
+        sub_workload = Workload(x.workload.masks[x.miss_rows], copy=False)
+        if x.synthetic:
+            fresh = x.server._fallback().answer_workload(sub_workload)
+            for fingerprint, answer in zip(x.miss_fps, fresh):
+                x.answer_by_fp[fingerprint] = float(answer)
+        else:
+            packed_rows = [x.packed_rows[row] for row in x.miss_rows]
+            fresh = self._bound.answer_workload(
+                x.state, x.analyst, sub_workload, packed_rows
+            )
+            x.fresh_entries = [
+                (fingerprint, float(answer))
+                for fingerprint, answer in zip(x.miss_fps, fresh)
+            ]
+            x.answer_by_fp.update(x.fresh_entries)
+
+
+class CachePutStage:
+    """Insert freshly released answers into the analyst's cache.
+
+    Synthetic answers stay out of the cache so every one is logged with
+    its true source (pre-refactor behavior); cache hits obviously skip.
+    """
+
+    __slots__ = ()
+
+    name = "cache_put"
+
+    def single(self, x: Exchange) -> None:
+        if not x.synthetic:
+            x.state.cache.put(x.fingerprint, x.answer)
+
+    def batch(self, x: Exchange) -> None:
+        if x.miss_rows and not x.synthetic:
+            x.state.cache.put_many(x.fresh_entries)
+
+
+class AuditAppendStage:
+    """Append every release to the audit log, then poke the auditor.
+
+    The append itself stays on the hot path (the log *is* the server's
+    evidence trail); what happens after is the pluggable part — the
+    configured :class:`~repro.service.audit_worker.AuditDispatch` either
+    runs ``maybe_audit`` inline (pre-refactor behavior) or wakes a
+    background audit worker.  Cached single replays append but do not
+    poke (they add no unique record, matching the monolith).
+    """
+
+    __slots__ = ("_log", "_dispatch")
+
+    name = "audit_append"
+
+    def __init__(self, log, dispatch):
+        self._log = log
+        self._dispatch = dispatch
+
+    @property
+    def dispatch(self):
+        """The audit dispatch verdicts flow through (tests, telemetry)."""
+        return self._dispatch
+
+    def append_hit(self, analyst, fingerprint, mask, answer, packed, size) -> None:
+        """Log one cached replay (free, no auditor poke)."""
+        self._log.append(
+            analyst,
+            fingerprint,
+            mask,
+            answer,
+            True,
+            0.0,
+            packed_mask=packed,
+            query_size=size,
+        )
+
+    def single(self, x: Exchange) -> None:
+        if x.done:
+            self.append_hit(
+                x.analyst, x.fingerprint, x.mask, x.cached_answer, x.packed, x.size
+            )
+            return
+        synthetic = x.synthetic
+        self._log.append(
+            x.analyst,
+            x.fingerprint,
+            x.mask,
+            x.answer,
+            False,
+            0.0 if synthetic else x.epsilon,
+            source="synthetic" if synthetic else "mechanism",
+            packed_mask=x.packed,
+            query_size=x.size,
+        )
+        self._dispatch.after_append(self._log, x.analyst)
+
+    def batch(self, x: Exchange) -> None:
+        answers = np.array(
+            [x.answer_by_fp[fingerprint] for fingerprint in x.fingerprints],
+            dtype=np.float64,
+        )
+        x.answers = answers
+        fresh_rows = set(x.miss_rows)
+        masks = x.workload.masks
+        epsilon = x.epsilon
+        synthetic = x.synthetic
+        for row, fingerprint in enumerate(x.fingerprints):
+            is_fresh = row in fresh_rows
+            self._log.append(
+                x.analyst,
+                fingerprint,
+                masks[row],
+                answers[row],
+                not is_fresh,
+                epsilon if is_fresh and not synthetic else 0.0,
+                source="synthetic" if is_fresh and synthetic else "mechanism",
+                packed_mask=x.packed_rows[row],
+                query_size=int(x.sizes[row]),
+            )
+        self._dispatch.after_append(self._log, x.analyst)
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class BoundExecution(ABC):
+    """A backend bound to one server: the ``Execute`` stage's call target."""
+
+    @abstractmethod
+    def answer(self, state, analyst: str, query: SubsetQuery, packed: bytes) -> float:
+        """Answer one query on the analyst's answerer."""
+
+    @abstractmethod
+    def answer_workload(
+        self, state, analyst: str, workload: Workload, packed_rows: Sequence[bytes]
+    ) -> np.ndarray:
+        """Answer a deduplicated miss workload on the analyst's answerer."""
+
+
+class ExecutionBackend(ABC):
+    """Where the ``Execute`` stage runs mechanism calls.
+
+    A backend is *bound* to a server once (:meth:`bind`), yielding the
+    per-server call target; every backend must be bit-identical to
+    inline execution for a fixed server seed, which the backend suite
+    pins across single asks, workloads, and interleaved sessions.
+    """
+
+    name: str = "?"
+
+    @abstractmethod
+    def bind(self, server: "QueryServer") -> BoundExecution:
+        """Bind to one server, returning its execution call target."""
+
+    def close(self) -> None:
+        """Release backend resources (shared pools persist; default no-op)."""
+
+
+class _InlineBound(BoundExecution):
+    __slots__ = ()
+
+    def answer(self, state, analyst, query, packed):
+        return state.answerer.answer(query)
+
+    def answer_workload(self, state, analyst, workload, packed_rows):
+        return state.answerer.answer_workload(workload)
+
+
+class InlineExecutionBackend(ExecutionBackend):
+    """The calling thread answers: zero indirection, the reference."""
+
+    name = "inline"
+
+    _BOUND = _InlineBound()
+
+    def bind(self, server):
+        return self._BOUND
+
+
+_POOL_GUARD = threading.Lock()
+_THREAD_POOL: ThreadPoolExecutor | None = None
+
+
+def _shared_thread_pool() -> ThreadPoolExecutor:
+    global _THREAD_POOL
+    with _POOL_GUARD:
+        if _THREAD_POOL is None:
+            _THREAD_POOL = ThreadPoolExecutor(
+                max_workers=min(32, 4 * (os.cpu_count() or 1)),
+                thread_name_prefix="repro-exec",
+            )
+        return _THREAD_POOL
+
+
+class _ThreadBound(BoundExecution):
+    __slots__ = ()
+
+    def answer(self, state, analyst, query, packed):
+        return _shared_thread_pool().submit(state.answerer.answer, query).result()
+
+    def answer_workload(self, state, analyst, workload, packed_rows):
+        return (
+            _shared_thread_pool()
+            .submit(state.answerer.answer_workload, workload)
+            .result()
+        )
+
+
+class ThreadExecutionBackend(ExecutionBackend):
+    """A shared thread pool answers.
+
+    Same objects, same calls, same noise stream as inline (the analyst
+    lock already serializes per-analyst work), so bit-identity is free;
+    the point is that NumPy sampling releases the GIL, keeping serving
+    threads responsive under big uncached batches — and it is the shape
+    an asyncio front end awaits on.
+    """
+
+    name = "thread"
+
+    def bind(self, server):
+        return _ThreadBound()
+
+
+# Worker-process side of the process backend.  Both dicts live in the
+# forked children only; keyed by the parent-assigned server token.
+_POOL_INITS: dict[int, tuple] = {}
+_POOL_ANSWERERS: dict[tuple[int, str], object] = {}
+
+_BIND_TOKENS = itertools.count(1)
+
+
+def _pool_answer(token, analyst, init, rng_state, packed_rows, n, single):
+    """Worker body: rebuild the analyst's answerer, position its noise
+    stream at the shipped state, answer, and return the advanced state.
+
+    Returns ``None`` when this worker has not yet seen ``token``'s init
+    payload — the parent resubmits with it attached (a one-time double
+    round trip per worker, so steady-state calls stay small).
+    """
+    spec = _POOL_INITS.get(token)
+    if spec is None:
+        if init is None:
+            return None
+        spec = pickle.loads(init)
+        _POOL_INITS[token] = spec
+    mechanism, params, data, seed = spec
+    key = (token, analyst)
+    answerer = _POOL_ANSWERERS.get(key)
+    if answerer is None:
+        from repro.service.server import make_answerer
+
+        # The same construction path the parent took at registration:
+        # construction-time draws (e.g. a subsample mask) replay from the
+        # same derived stream, then the shipped state repositions it.
+        answerer = make_answerer(
+            mechanism, data, rng=derive_rng(seed, "service", analyst), **params
+        )
+        _POOL_ANSWERERS[key] = answerer
+    rng = getattr(answerer, "_rng", None)
+    if rng is not None and rng_state is not None:
+        rng.bit_generator.state = rng_state
+    rows = np.frombuffer(b"".join(packed_rows), dtype=np.uint8)
+    masks = np.unpackbits(
+        rows.reshape(len(packed_rows), -1), axis=1, count=n
+    ).astype(bool)
+    if single:
+        result = answerer.answer(SubsetQuery(masks[0]))
+    else:
+        result = answerer.answer_workload(Workload(masks, copy=False))
+    new_state = rng.bit_generator.state if rng is not None else None
+    return result, new_state
+
+
+class _ProcessBound(BoundExecution):
+    __slots__ = ("_token", "_init", "_n", "_workers", "_degraded", "_lock")
+
+    def __init__(self, token: int, init: bytes, n: int, workers: int | None):
+        self._token = token
+        self._init = init
+        self._n = n
+        self._workers = workers
+        self._degraded = False
+        self._lock = threading.Lock()
+
+    def _degrade(self, error: BaseException) -> None:
+        with self._lock:
+            if not self._degraded:
+                self._degraded = True
+                warnings.warn(
+                    f"process execution backend degraded to inline ({error!r})",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
+    def _roundtrip(self, state, analyst, packed_rows, single):
+        answerer = state.answerer
+        rng = getattr(answerer, "_rng", None)
+        rng_state = rng.bit_generator.state if rng is not None else None
+        pool = shared_fork_executor(self._workers)
+        reply = pool.submit(
+            _pool_answer, self._token, analyst, None, rng_state, packed_rows,
+            self._n, single,
+        ).result()
+        if reply is None:
+            reply = pool.submit(
+                _pool_answer, self._token, analyst, self._init, rng_state,
+                packed_rows, self._n, single,
+            ).result()
+        result, new_state = reply
+        if rng is not None and new_state is not None:
+            # The worker consumed the draws; adopt its advanced stream so
+            # the analyst's next answer continues bit-exactly.
+            rng.bit_generator.state = new_state
+        lock = getattr(answerer, "_answer_lock", None)
+        count = 1 if single else len(packed_rows)
+        if lock is not None:
+            with lock:
+                answerer.queries_answered += count
+        return result
+
+    def answer(self, state, analyst, query, packed):
+        if self._degraded:
+            return state.answerer.answer(query)
+        try:
+            return self._roundtrip(state, analyst, [packed], True)
+        except Exception as error:  # pool broke or payload would not cross
+            self._degrade(error)
+            return state.answerer.answer(query)
+
+    def answer_workload(self, state, analyst, workload, packed_rows):
+        if self._degraded:
+            return state.answerer.answer_workload(workload)
+        try:
+            return self._roundtrip(state, analyst, list(packed_rows), False)
+        except Exception as error:
+            self._degrade(error)
+            return state.answerer.answer_workload(workload)
+
+
+class ProcessExecutionBackend(ExecutionBackend):
+    """A persistent fork pool answers: uncached traffic escapes the GIL.
+
+    Binding pickles the server's ``(mechanism, params, data, seed)`` once;
+    workers lazily rebuild each analyst's answerer from it and cache the
+    result, so steady-state calls ship only packed masks and a generator
+    state.  Bit-identity with inline holds because answers are a pure
+    function of (construction path, stream position) and both travel with
+    the call.  Degrades to inline — bit-identically, thanks to the same
+    state-based contract — with a ``RuntimeWarning`` when ``fork`` is
+    unavailable, the server's mechanism cannot cross a process boundary
+    (an unpicklable callable), or the pool breaks mid-flight.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        self._workers = workers
+
+    def bind(self, server):
+        if not fork_available():
+            warnings.warn(
+                "process execution backend needs the fork start method; "
+                "executing inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _InlineBound()
+        try:
+            init = pickle.dumps(
+                (server.mechanism, server.mechanism_params, server._data, server.seed)
+            )
+        except Exception as error:  # lambdas, closures, local classes
+            warnings.warn(
+                f"mechanism cannot cross a process boundary ({error!r}); "
+                "executing inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _InlineBound()
+        # Fork the shared pool now, before the server spawns or joins any
+        # serving threads — forking a threaded parent risks inheriting
+        # held locks.
+        shared_fork_executor(self._workers)
+        return _ProcessBound(next(_BIND_TOKENS), init, server.n, self._workers)
+
+
+def resolve_execution_backend(
+    execution: str | ExecutionBackend | None,
+) -> ExecutionBackend:
+    """Normalize an ``execution`` argument into a backend instance.
+
+    ``None`` consults the ``REPRO_EXEC_BACKEND`` environment variable
+    (default ``"inline"``) — which is how CI pins backend bit-identity by
+    running the whole tier-1 suite under ``REPRO_EXEC_BACKEND=process``.
+    """
+    if isinstance(execution, ExecutionBackend):
+        return execution
+    if execution is None:
+        execution = os.environ.get(EXEC_BACKEND_ENV, "inline") or "inline"
+    if execution == "inline":
+        return InlineExecutionBackend()
+    if execution == "thread":
+        return ThreadExecutionBackend()
+    if execution == "process":
+        return ProcessExecutionBackend()
+    raise ValueError(
+        f"unknown execution backend {execution!r}; known: {EXECUTION_BACKENDS}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The pipeline driver
+# ---------------------------------------------------------------------------
+
+
+class ServePipeline:
+    """The fixed stage list plus the drivers every server runs requests by.
+
+    One pipeline per server; sessions on an admission-controlled front
+    end layer their bucket/gate in via :meth:`with_admission` (stages are
+    shared, only the admission slot differs).  Two drivers:
+
+    * :meth:`serve_single` — the per-query hot path.  The cached-replay
+      branch is *fused*: it calls the same stage units
+      (``ComplianceStage.check`` -> ``CacheLookupStage.probe`` ->
+      ``AuditAppendStage.append_hit``) as straight-line code, because at
+      ~8 us/ask a generic stage loop is measurable overhead; the miss
+      branch (dominated by the mechanism call) runs the staged sequence.
+      ``submit``/``_staged_single`` is the unfused reference the tests
+      hold it bit-identical to.
+    * :meth:`serve_workload` — the batched path, fully staged.
+
+    Both drivers settle the ``BudgetReserve`` stage's lease: committed
+    after ``AuditAppend``, rolled back if any stage after the reserve
+    raises — the pipeline never burns budget for answers never released.
+    """
+
+    def __init__(self, server: "QueryServer", bound: BoundExecution, dispatch):
+        self._server = server
+        self._admission: AdmissionControl | None = None
+        self._compliance = ComplianceStage(server.auditor)
+        self._cache_lookup = CacheLookupStage()
+        self._budget = BudgetReserveStage()
+        self._execute = ExecuteStage(bound)
+        self._cache_put = CachePutStage()
+        self._audit_append = AuditAppendStage(server.audit_log, dispatch)
+        self._serving = (
+            self._compliance,
+            self._cache_lookup,
+            self._budget,
+            self._execute,
+            self._cache_put,
+            self._audit_append,
+        )
+        self._miss_stages = (
+            self._budget,
+            self._execute,
+            self._cache_put,
+            self._audit_append,
+        )
+
+    @property
+    def stages(self) -> tuple:
+        """The fixed stage sequence (admission first when configured)."""
+        if self._admission is None:
+            return self._serving
+        return (self._admission, *self._serving)
+
+    @property
+    def execute_stage(self) -> ExecuteStage:
+        return self._execute
+
+    @property
+    def audit_stage(self) -> AuditAppendStage:
+        return self._audit_append
+
+    def with_admission(self, admission: AdmissionControl) -> "ServePipeline":
+        """A view of this pipeline with an admission stage in front.
+
+        Serving stages are shared (same caches, same audit log, same
+        backend binding); only the pre-lock admission slot differs, which
+        is how per-session bucket/gate pairs ride one shard pipeline.
+        """
+        clone = object.__new__(ServePipeline)
+        clone.__dict__.update(self.__dict__)
+        clone._admission = admission
+        return clone
+
+    # -- single-query driver ------------------------------------------------
+
+    def serve_single(self, state, analyst: str, query: SubsetQuery) -> float:
+        admission = self._admission
+        if admission is None:
+            return self._single_locked(state, analyst, query)
+        # Admission precedes everything, including validation: a rejected
+        # request must cost nothing, and an admitted bad request still
+        # consumed its token (the pre-refactor sharded ordering).
+        admission.enter(analyst)
+        try:
+            return self._single_locked(state, analyst, query)
+        finally:
+            admission.exit(analyst)
+
+    def _single_locked(self, state, analyst: str, query: SubsetQuery) -> float:
+        server = self._server
+        if query.n != server.n:
+            raise ValueError(f"query addresses n={query.n}, data has n={server.n}")
+        with state.lock:
+            self._compliance.check(analyst)
+            mask = query.mask
+            fingerprint, packed, size, cached = self._cache_lookup.probe(state, mask)
+            if cached is not None:
+                # Fused replay fast path: same three stage units, no
+                # exchange, no loop — the bit-for-bit pre-refactor ops.
+                self._audit_append.append_hit(
+                    analyst, fingerprint, mask, cached, packed, size
+                )
+                return cached
+            x = Exchange(self._server, state, analyst, query=query)
+            x.mask = mask
+            x.fingerprint = fingerprint
+            x.packed = packed
+            x.size = size
+            self._run_miss_single(x)
+            return x.answer
+
+    def _run_miss_single(self, x: Exchange) -> None:
+        try:
+            for stage in self._miss_stages:
+                stage.single(x)
+        except BaseException:
+            lease = x.lease
+            if lease is not None and not lease.settled:
+                lease.rollback()
+            raise
+        if x.lease is not None:
+            x.lease.commit()
+
+    # -- workload driver ----------------------------------------------------
+
+    def serve_workload(
+        self, state, analyst: str, workload: Workload | Sequence[SubsetQuery]
+    ) -> np.ndarray:
+        admission = self._admission
+        if admission is None:
+            return self._workload_locked(state, analyst, workload).answers
+        admission.enter(analyst)
+        try:
+            return self._workload_locked(state, analyst, workload).answers
+        finally:
+            admission.exit(analyst)
+
+    def _workload_locked(self, state, analyst: str, workload) -> Exchange:
+        workload = Workload.coerce(workload)
+        server = self._server
+        if workload.n != server.n:
+            raise ValueError(
+                f"workload addresses n={workload.n}, data has n={server.n}"
+            )
+        x = Exchange(server, state, analyst, workload=workload)
+        with state.lock:
+            try:
+                for stage in self._serving:
+                    stage.batch(x)
+            except BaseException:
+                lease = x.lease
+                if lease is not None and not lease.settled:
+                    lease.rollback()
+                raise
+            if x.lease is not None:
+                x.lease.commit()
+            return x
+
+    # -- typed boundary -----------------------------------------------------
+
+    def submit(self, request: Request) -> Outcome:
+        """Drive one :class:`Request` through the full staged sequence.
+
+        The entry point for out-of-process front ends (and the unfused
+        reference path the hot-path fusion is tested against).  Resolves
+        the analyst's serving state through the server registry, so a
+        first request performs registration (including the compliance
+        gate) exactly like ``QueryServer.session`` does.
+        """
+        state = self._server._state(request.analyst)
+        if request.single:
+            x = self._staged_single(state, request.analyst, request.query)
+            if x.done:
+                return Outcome(
+                    analyst=request.analyst,
+                    answer=x.cached_answer,
+                    answers=None,
+                    cached=True,
+                    synthetic=False,
+                    fresh_queries=0,
+                    epsilon_charged=0.0,
+                )
+            return Outcome(
+                analyst=request.analyst,
+                answer=x.answer,
+                answers=None,
+                cached=False,
+                synthetic=x.synthetic,
+                fresh_queries=1,
+                epsilon_charged=0.0 if x.synthetic else x.epsilon,
+            )
+        admission = self._admission
+        if admission is not None:
+            admission.enter(request.analyst)
+        try:
+            x = self._workload_locked(state, request.analyst, request.workload)
+        finally:
+            if admission is not None:
+                admission.exit(request.analyst)
+        fresh = len(x.miss_rows)
+        return Outcome(
+            analyst=request.analyst,
+            answer=None,
+            answers=tuple(float(a) for a in x.answers),
+            cached=fresh == 0,
+            synthetic=x.synthetic,
+            fresh_queries=fresh,
+            epsilon_charged=0.0 if x.synthetic else fresh * x.epsilon,
+        )
+
+    def _staged_single(self, state, analyst: str, query: SubsetQuery) -> Exchange:
+        server = self._server
+        admission = self._admission
+        if admission is not None:
+            admission.enter(analyst)
+        try:
+            if query.n != server.n:
+                raise ValueError(
+                    f"query addresses n={query.n}, data has n={server.n}"
+                )
+            x = Exchange(server, state, analyst, query=query)
+            with state.lock:
+                self._compliance.single(x)
+                self._cache_lookup.single(x)
+                if x.done:
+                    self._audit_append.single(x)
+                else:
+                    self._run_miss_single(x)
+        finally:
+            if admission is not None:
+                admission.exit(analyst)
+        return x
+
+    def __repr__(self) -> str:
+        names = " -> ".join(stage.name for stage in self.stages)
+        return f"ServePipeline({names})"

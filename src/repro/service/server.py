@@ -9,13 +9,23 @@ queries from a per-analyst answer cache for free, appends every release to
 the audit log, and lets the online reconstruction auditor trip a
 per-analyst circuit breaker.
 
-The request path, in order (each step can refuse without side effects from
-the later ones)::
+The request path is the fixed stage sequence of
+:class:`repro.service.pipeline.ServePipeline` (each stage can refuse
+without side effects from the later ones)::
 
-    session.ask(q) ──► breaker check ──► cache ──► accountant ──► mechanism
-                                                        │             │
-                                                   BudgetExhausted    ▼
-                                                               audit log ──► auditor
+    session.ask(q) ──► Admission ──► Compliance ──► CacheLookup
+                       ──► BudgetReserve ──► Execute ──► CachePut
+                       ──► AuditAppend ──► audit dispatch (inline/background)
+
+``QueryServer`` itself is a thin driver over that stage list: it owns the
+cross-request state (accountant, audit log, analyst registry, synthetic
+fallback) and delegates serving to its pipeline.  The ``execution``
+argument picks where the ``Execute`` stage runs mechanism calls
+(inline / thread / process; see :mod:`repro.service.pipeline`), and
+``audit_dispatch`` picks whether reconstruction-audit passes run on the
+serving thread or on background workers
+(:mod:`repro.service.audit_worker`).  Both are bit-identical to the
+defaults by construction and by test.
 
 When a :class:`~repro.compliance.gate.ComplianceGate` is configured, one
 step precedes all of the above — at session *registration* (not per
@@ -43,11 +53,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.compliance.gate import ComplianceDenied, ComplianceGate
-from repro.privacy.accounting import (
-    BasicAccountant,
-    BudgetExhausted,
-    ServiceAccountant,
-)
+from repro.privacy.accounting import BasicAccountant, ServiceAccountant
 from repro.privacy.kernels import MechanismSpec
 from repro.queries.mechanism import (
     BoundedNoiseAnswerer,
@@ -61,11 +67,12 @@ from repro.queries.mechanism import (
 from repro.queries.query import SubsetQuery, _validate_binary
 from repro.queries.workload import Workload
 from repro.service.audit import AuditLog, ReconstructionAuditor
-from repro.service.cache import (
-    AnalystCacheView,
-    AnswerCache,
-    fingerprint_and_packed,
-    workload_fingerprints_packed,
+from repro.service.audit_worker import AuditDispatch, resolve_audit_dispatch
+from repro.service.cache import AnalystCacheView, AnswerCache
+from repro.service.pipeline import (
+    ExecutionBackend,
+    ServePipeline,
+    resolve_execution_backend,
 )
 from repro.synth.binary import BinaryRelease, synthesize_binary
 from repro.utils.rng import RngSeed, derive_rng
@@ -273,6 +280,18 @@ class QueryServer:
             budget/cache/answer footprint, and both approvals and denials
             are noted in the audit log.  The check runs at registration
             and activation only — never on the per-query hot path.
+        execution: where the Execute stage runs mechanism calls — an
+            :class:`~repro.service.pipeline.ExecutionBackend` instance or
+            one of ``"inline"``/``"thread"``/``"process"``; ``None``
+            (default) consults the ``REPRO_EXEC_BACKEND`` environment
+            variable, falling back to inline.  Bit-identical across
+            backends for a fixed seed.
+        audit_dispatch: how reconstruction-audit passes run — an
+            :class:`~repro.service.audit_worker.AuditDispatch` instance,
+            ``"inline"`` (default: passes run on the serving thread, the
+            pre-refactor behavior), or ``"background"`` (a
+            :class:`~repro.service.audit_worker.AuditWorkerPool` tails
+            the audit log off the hot path).  Ignored without an auditor.
     """
 
     def __init__(
@@ -286,6 +305,8 @@ class QueryServer:
         seed: int = 0,
         synthetic_fallback: SyntheticFallback | bool | None = None,
         compliance: ComplianceGate | None = None,
+        execution: str | ExecutionBackend | None = None,
+        audit_dispatch: str | AuditDispatch | None = None,
     ):
         array = np.asarray(data)
         self._data = _validate_binary(array, array.size)
@@ -308,6 +329,11 @@ class QueryServer:
         self._cache_factory: Callable[[str], AnswerCache | AnalystCacheView] | None = None
         self._states: dict[str, _AnalystState] = {}
         self._states_lock = threading.Lock()
+        self.execution = resolve_execution_backend(execution)
+        self.audit_dispatch = resolve_audit_dispatch(audit_dispatch, self.auditor)
+        self._pipeline = ServePipeline(
+            self, self.execution.bind(self), self.audit_dispatch
+        )
 
     @property
     def n(self) -> int:
@@ -434,66 +460,7 @@ class QueryServer:
     def _serve(self, state: _AnalystState, analyst: str, query: SubsetQuery) -> float:
         """:meth:`ask` with the analyst state already in hand (sessions
         resolve it once, so repeated asks never touch the registry lock)."""
-        if query.n != self.n:
-            raise ValueError(f"query addresses n={query.n}, data has n={self.n}")
-        with state.lock:
-            if self.auditor is not None:
-                self.auditor.check(analyst)
-            mask = query.mask
-            fingerprint, packed = fingerprint_and_packed(mask)
-            size = int(np.count_nonzero(mask))
-            cached = state.cache.get(fingerprint)
-            if cached is not None:
-                self.audit_log.append(
-                    analyst,
-                    fingerprint,
-                    mask,
-                    cached,
-                    True,
-                    0.0,
-                    packed_mask=packed,
-                    query_size=size,
-                )
-                return cached
-            epsilon = state.epsilon_per_query
-            try:
-                self.accountant.charge(analyst, 1, epsilon)
-            except BudgetExhausted:
-                if self.synthetic_fallback is None:
-                    raise
-                # Serve exactly from the pre-paid release: post-processing,
-                # zero further epsilon.  Synthetic answers stay out of the
-                # cache so every one is logged with its true source.
-                answer = float(self._fallback().answer(mask))
-                self.audit_log.append(
-                    analyst,
-                    fingerprint,
-                    mask,
-                    answer,
-                    False,
-                    0.0,
-                    source="synthetic",
-                    packed_mask=packed,
-                    query_size=size,
-                )
-                if self.auditor is not None:
-                    self.auditor.maybe_audit(self.audit_log, analyst)
-                return answer
-            answer = state.answerer.answer(query)
-            state.cache.put(fingerprint, answer)
-            self.audit_log.append(
-                analyst,
-                fingerprint,
-                mask,
-                answer,
-                False,
-                epsilon,
-                packed_mask=packed,
-                query_size=size,
-            )
-            if self.auditor is not None:
-                self.auditor.maybe_audit(self.audit_log, analyst)
-            return answer
+        return self._pipeline.serve_single(state, analyst, query)
 
     def ask_workload(
         self, analyst: str, workload: Workload | Sequence[SubsetQuery]
@@ -514,73 +481,30 @@ class QueryServer:
         workload: Workload | Sequence[SubsetQuery],
     ) -> np.ndarray:
         """:meth:`ask_workload` with the analyst state already in hand."""
-        workload = Workload.coerce(workload)
-        if workload.n != self.n:
-            raise ValueError(f"workload addresses n={workload.n}, data has n={self.n}")
-        with state.lock:
-            if self.auditor is not None:
-                self.auditor.check(analyst)
-            fingerprints, packed_rows, sizes = workload_fingerprints_packed(workload)
-            looked_up = state.cache.lookup_many(fingerprints)
-            miss_rows: list[int] = []
-            miss_fps: list[bytes] = []
-            seen: set[bytes] = set()
-            for row, (fingerprint, hit) in enumerate(zip(fingerprints, looked_up)):
-                if hit is None and fingerprint not in seen:
-                    seen.add(fingerprint)
-                    miss_rows.append(row)
-                    miss_fps.append(fingerprint)
-            epsilon = state.epsilon_per_query
-            answer_by_fp: dict[bytes, float] = {
-                fingerprint: hit
-                for fingerprint, hit in zip(fingerprints, looked_up)
-                if hit is not None
-            }
-            synthetic = False
-            if miss_rows:
-                sub_workload = Workload(workload.masks[miss_rows], copy=False)
-                try:
-                    # May raise BudgetExhausted: all-or-nothing, and without
-                    # a fallback nothing is served.
-                    self.accountant.charge(analyst, len(miss_rows), epsilon)
-                except BudgetExhausted:
-                    if self.synthetic_fallback is None:
-                        raise
-                    synthetic = True
-                    fresh = self._fallback().answer_workload(sub_workload)
-                    for fingerprint, answer in zip(miss_fps, fresh):
-                        answer_by_fp[fingerprint] = float(answer)
-                else:
-                    fresh = state.answerer.answer_workload(sub_workload)
-                    fresh_entries = [
-                        (fingerprint, float(answer))
-                        for fingerprint, answer in zip(miss_fps, fresh)
-                    ]
-                    # One cache-lock acquisition for the whole miss batch.
-                    state.cache.put_many(fresh_entries)
-                    answer_by_fp.update(fresh_entries)
-            answers = np.array(
-                [answer_by_fp[fingerprint] for fingerprint in fingerprints],
-                dtype=np.float64,
-            )
-            fresh_rows = set(miss_rows)
-            masks = workload.masks
-            for row, fingerprint in enumerate(fingerprints):
-                is_fresh = row in fresh_rows
-                self.audit_log.append(
-                    analyst,
-                    fingerprint,
-                    masks[row],
-                    answers[row],
-                    not is_fresh,
-                    epsilon if is_fresh and not synthetic else 0.0,
-                    source="synthetic" if is_fresh and synthetic else "mechanism",
-                    packed_mask=packed_rows[row],
-                    query_size=int(sizes[row]),
-                )
-            if self.auditor is not None:
-                self.auditor.maybe_audit(self.audit_log, analyst)
-            return answers
+        return self._pipeline.serve_workload(state, analyst, workload)
+
+    @property
+    def pipeline(self) -> ServePipeline:
+        """The staged serve pipeline this server drives requests through."""
+        return self._pipeline
+
+    def close(self) -> None:
+        """Drain and release serving resources.
+
+        Flushes and stops background audit workers (so every signalled
+        pass has published its verdict) and closes the execution backend.
+        Shared process/thread pools persist across servers by design and
+        are not torn down here.
+        """
+        self.audit_dispatch.flush()
+        self.audit_dispatch.close()
+        self.execution.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         mechanism = self.mechanism if isinstance(self.mechanism, str) else "custom"

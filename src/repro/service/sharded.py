@@ -54,7 +54,9 @@ from repro.queries.mechanism import QueryAnswerer
 from repro.queries.query import SubsetQuery
 from repro.queries.workload import Workload
 from repro.service.audit import AuditLog, ReconstructionAuditor
+from repro.service.audit_worker import resolve_audit_dispatch
 from repro.service.cache import AnalystCacheView, StripedAnswerCache
+from repro.service.pipeline import AdmissionControl, resolve_execution_backend
 from repro.service.server import AnalystSession, QueryServer, SyntheticFallback
 from repro.synth.binary import BinaryRelease
 
@@ -115,9 +117,13 @@ class _TokenBucket:
         """Consume one token or raise :class:`Rejected` with a back-off."""
         with self._lock:
             now = self._clock()
+            # Clamp: a clock that steps backwards (a wall clock under NTP,
+            # or any non-monotonic injected source) must never *drain*
+            # tokens or push retry_after past one full refill interval.
+            elapsed = max(0.0, now - self._stamp)
             self._tokens = min(
                 float(self._policy.burst),
-                self._tokens + (now - self._stamp) * self._policy.rate,
+                self._tokens + elapsed * self._policy.rate,
             )
             self._stamp = now
             if self._tokens >= 1.0:
@@ -148,29 +154,34 @@ class _AdmissionGate:
         self.inflight = 0
         self.rejections = 0
 
+    def acquire(self, analyst: str) -> None:
+        """Take an in-flight slot or raise :class:`Rejected` (overload)."""
+        with self._lock:
+            if self.inflight < self.max_inflight:
+                self.inflight += 1
+                return
+            self.rejections += 1
+            full = self.inflight
+        raise Rejected(
+            f"shard at capacity ({full}/{self.max_inflight} in flight); "
+            f"analyst {analyst!r} should retry",
+            analyst=analyst,
+            reason="overload",
+            retry_after=0.0,
+        )
+
+    def release(self) -> None:
+        """Return a slot taken by a successful :meth:`acquire`."""
+        with self._lock:
+            self.inflight -= 1
+
     @contextmanager
     def slot(self, analyst: str) -> Iterator[None]:
-        with self._lock:
-            if self.inflight >= self.max_inflight:
-                self.rejections += 1
-                full = self.inflight
-                raise_overload = True
-            else:
-                self.inflight += 1
-                raise_overload = False
-        if raise_overload:
-            raise Rejected(
-                f"shard at capacity ({full}/{self.max_inflight} in flight); "
-                f"analyst {analyst!r} should retry",
-                analyst=analyst,
-                reason="overload",
-                retry_after=0.0,
-            )
+        self.acquire(analyst)
         try:
             yield
         finally:
-            with self._lock:
-                self.inflight -= 1
+            self.release()
 
 
 class ShardedAnalystSession(AnalystSession):
@@ -187,24 +198,23 @@ class ShardedAnalystSession(AnalystSession):
         self.shard = shard
         self._bucket = front._bucket(analyst)
         self._gate = front._gates[shard]
+        # The session's pipeline is the shard's pipeline (same stages, same
+        # caches, same audit log) with this session's bucket/gate composed
+        # in front as the Admission stage.
+        if self._bucket is None and self._gate is None:
+            self._pipeline = self._server.pipeline
+        else:
+            self._pipeline = self._server.pipeline.with_admission(
+                AdmissionControl(self._bucket, self._gate)
+            )
 
     def ask(self, query: SubsetQuery) -> float:
         """Answer one query; may raise :class:`Rejected` before any charge."""
-        if self._bucket is not None:
-            self._bucket.admit(self.analyst)
-        if self._gate is None:
-            return super().ask(query)
-        with self._gate.slot(self.analyst):
-            return super().ask(query)
+        return self._pipeline.serve_single(self._state, self.analyst, query)
 
     def ask_workload(self, workload: Workload | Sequence[SubsetQuery]) -> np.ndarray:
         """Answer a workload (one admission token for the whole batch)."""
-        if self._bucket is not None:
-            self._bucket.admit(self.analyst)
-        if self._gate is None:
-            return super().ask_workload(workload)
-        with self._gate.slot(self.analyst):
-            return super().ask_workload(workload)
+        return self._pipeline.serve_workload(self._state, self.analyst, workload)
 
 
 class ShardedQueryServer:
@@ -251,6 +261,8 @@ class ShardedQueryServer:
         rate_limit: RateLimit | None = None,
         max_inflight_per_shard: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        execution=None,
+        audit_dispatch=None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -262,6 +274,11 @@ class ShardedQueryServer:
         self.compliance = compliance
         self.rate_limit = rate_limit
         self._clock = clock
+        # One execution backend and one audit dispatch for the whole front
+        # end: shards bind the same backend (sharing its pools/workers) and
+        # publish audit signals through the same worker pool.
+        self.execution = resolve_execution_backend(execution)
+        self.audit_dispatch = resolve_audit_dispatch(audit_dispatch, auditor)
         self._shard_caches = tuple(
             StripedAnswerCache(max_entries=cache_entries, stripes=cache_stripes)
             for _ in range(self.shards)
@@ -277,6 +294,8 @@ class ShardedQueryServer:
                 seed=seed,
                 synthetic_fallback=synthetic_fallback,
                 compliance=compliance,
+                execution=self.execution,
+                audit_dispatch=self.audit_dispatch,
             )
             for _ in range(self.shards)
         )
@@ -388,6 +407,22 @@ class ShardedQueryServer:
     def fallback_release(self) -> BinaryRelease | None:
         """The shared synthetic release, if synthesized yet."""
         return self._shard_servers[0].fallback_release
+
+    def close(self) -> None:
+        """Drain background audit workers and release serving resources.
+
+        The dispatch and backend are shared across shards, so they are
+        closed once here, not per shard.
+        """
+        self.audit_dispatch.flush()
+        self.audit_dispatch.close()
+        self.execution.close()
+
+    def __enter__(self) -> "ShardedQueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (

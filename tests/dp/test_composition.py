@@ -1,6 +1,6 @@
 """Tests for the privacy accountant and composition bounds."""
 
-import importlib
+import importlib.util
 
 import pytest
 
@@ -12,14 +12,12 @@ from repro.privacy.accounting import (
 )
 
 
-class TestDeprecatedShim:
-    def test_import_warns_and_reexports(self):
-        with pytest.warns(DeprecationWarning, match="repro.dp.composition"):
-            import repro.dp.composition as shim
-
-            shim = importlib.reload(shim)
-        assert shim.PrivacyAccountant is PrivacyAccountant
-        assert shim.PrivacySpend is PrivacySpend
+class TestShimRemoved:
+    def test_deprecated_module_is_gone(self):
+        # The PR-4 re-export shim finished its deprecation window; the
+        # canonical home is repro.privacy.accounting and the old path
+        # must no longer resolve.
+        assert importlib.util.find_spec("repro.dp.composition") is None
 
 
 class TestBasicComposition:

@@ -1,6 +1,6 @@
 """Accountant semantics: composition rules, budgets, all-or-nothing charges."""
 
-import importlib
+import importlib.util
 
 import pytest
 
@@ -8,14 +8,12 @@ from repro.privacy.accounting import advanced_composition
 from repro.service import AdvancedAccountant, BasicAccountant, BudgetExhausted
 
 
-class TestDeprecatedShim:
-    def test_import_warns_and_reexports(self):
-        with pytest.warns(DeprecationWarning, match="repro.service.accountant"):
-            import repro.service.accountant as shim
-
-            shim = importlib.reload(shim)
-        assert shim.BasicAccountant is BasicAccountant
-        assert shim.BudgetExhausted is BudgetExhausted
+class TestShimRemoved:
+    def test_deprecated_module_is_gone(self):
+        # The PR-4 re-export shim finished its deprecation window; the
+        # canonical home is repro.privacy.accounting and the old path
+        # must no longer resolve.
+        assert importlib.util.find_spec("repro.service.accountant") is None
 
 
 class TestRefund:

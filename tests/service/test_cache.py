@@ -139,6 +139,102 @@ class TestStripedAnswerCache:
         with pytest.raises(ValueError, match="max_entries"):
             StripedAnswerCache(max_entries=0)
 
+    def test_stripe_index_is_stable_and_in_range(self):
+        striped = StripedAnswerCache(stripes=8)
+        for i in range(64):
+            fingerprint = bytes([i]) * 16
+            index = striped.stripe_index(fingerprint)
+            assert 0 <= index < 8
+            assert striped.stripe_index(fingerprint) == index
+            striped.put(fingerprint, float(i))
+            assert len(striped._stripes[index]) > 0
+
+
+class TestStripedCacheConcurrency:
+    """Eviction under concurrent ``put_many`` from many analyst views.
+
+    Each analyst's view prefixes keys with an 8-byte analyst digest, so a
+    whole per-analyst batch lands in one stripe; concurrent batches from
+    different analysts interleave on different stripe locks.  Whatever the
+    interleaving: the global bound holds (worst case ``max_entries +
+    stripes`` during a race, settling to per-stripe caps), every surviving
+    entry maps back to exactly the analyst who wrote it, and no analyst
+    ever observes another analyst's answer through their own view.
+    """
+
+    ANALYSTS = [f"analyst-{i}" for i in range(6)]
+    MAX_ENTRIES = 48
+    STRIPES = 8
+
+    def _storm(self, rounds=8, batch=16):
+        import threading
+
+        striped = StripedAnswerCache(max_entries=self.MAX_ENTRIES, stripes=self.STRIPES)
+        views = {name: AnalystCacheView(striped, name) for name in self.ANALYSTS}
+        barrier = threading.Barrier(len(self.ANALYSTS))
+        errors = []
+
+        def encode(name, i):
+            # Value encodes (analyst, fingerprint) so any hit proves who
+            # wrote it.
+            return float(self.ANALYSTS.index(name) * 10_000 + i)
+
+        def pound(name):
+            try:
+                barrier.wait(timeout=10.0)
+                view = views[name]
+                for r in range(rounds):
+                    entries = [
+                        (bytes([r, i]) * 8, encode(name, (r * batch + i) % 256))
+                        for i in range(batch)
+                    ]
+                    view.put_many(entries)
+                    for fingerprint, answer in entries:
+                        got = view.get(fingerprint)
+                        assert got is None or got == answer, (name, r, got)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=pound, args=(name,), name=f"cache-{name}")
+            for name in self.ANALYSTS
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors, errors
+        return striped, views
+
+    def test_capacity_invariant_under_interleaving(self):
+        striped, _ = self._storm()
+        per_stripe_cap = -(-self.MAX_ENTRIES // self.STRIPES)
+        for stripe in striped._stripes:
+            assert len(stripe) <= per_stripe_cap
+        assert len(striped) <= self.MAX_ENTRIES + self.STRIPES
+
+    def test_no_cross_analyst_leaks(self):
+        striped, views = self._storm()
+        # Probe every fingerprint the storm used through every view: a hit
+        # must decode to the probing analyst's own value.
+        for name, view in views.items():
+            analyst_id = self.ANALYSTS.index(name)
+            for r in range(8):
+                fingerprints = [bytes([r, i]) * 8 for i in range(16)]
+                for answer in view.lookup_many(fingerprints):
+                    if answer is not None:
+                        assert int(answer) // 10_000 == analyst_id
+
+    def test_surviving_entries_all_attributable(self):
+        striped, _ = self._storm()
+        prefixes = {
+            name: AnalystCacheView(striped, name)._prefix for name in self.ANALYSTS
+        }
+        for stripe in striped._stripes:
+            for key in list(stripe._entries):
+                owner = [n for n, p in prefixes.items() if key.startswith(p)]
+                assert len(owner) == 1  # exactly one analyst owns each key
+
 
 class TestAnalystCacheView:
     def test_views_are_isolated_per_analyst(self):

@@ -1,0 +1,488 @@
+"""The staged serve pipeline: stage wiring, execution backends, audit
+dispatch, and the bit-identity contract across all of them.
+
+The refactor's promise is that the pipeline is pure mechanics: for a fixed
+seed, served answers, budget-exhaustion points, and audit verdicts are
+bit-identical whatever the execution backend (inline/thread/process),
+whatever the audit dispatch (inline/background, after a flush), and
+whether the fused single-ask fast path or the generic staged reference
+path served the request.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.accounting import BudgetExhausted, BudgetLease
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.service import (
+    AuditWorkerPool,
+    BasicAccountant,
+    InlineExecutionBackend,
+    ProcessExecutionBackend,
+    QueryServer,
+    ReconstructionAuditor,
+    Request,
+    ShardedQueryServer,
+    ThreadExecutionBackend,
+)
+from repro.service.pipeline import resolve_execution_backend
+from repro.utils.parallel import fork_available
+from repro.utils.rng import derive_rng
+
+N = 64
+BACKENDS = ["inline", "thread", "process"]
+
+
+def make_data(seed=21):
+    return derive_rng(seed, "pipeline-test").integers(0, 2, size=N)
+
+
+def make_queries(count, seed=4, density=0.5):
+    rng = derive_rng(seed, "pipeline-queries")
+    return [SubsetQuery(rng.random(N) < density) for _ in range(count)]
+
+
+class TestStageList:
+    def test_fixed_sequence(self):
+        server = QueryServer(make_data(), "laplace", seed=1)
+        names = [stage.name for stage in server.pipeline.stages]
+        assert names == [
+            "compliance",
+            "cache_lookup",
+            "budget_reserve",
+            "execute",
+            "cache_put",
+            "audit_append",
+        ]
+
+    def test_admission_leads_when_composed(self):
+        sharded = ShardedQueryServer(
+            make_data(), "laplace", seed=1, shards=2, max_inflight_per_shard=4
+        )
+        session = sharded.session("alice")
+        names = [stage.name for stage in session._pipeline.stages]
+        assert names[0] == "admission"
+        assert "ServePipeline(admission -> " in repr(session._pipeline)
+
+    def test_sessions_share_the_shard_stages(self):
+        sharded = ShardedQueryServer(
+            make_data(), "laplace", seed=1, shards=1, max_inflight_per_shard=4
+        )
+        a = sharded.session("alice")._pipeline
+        b = sharded.session("bob")._pipeline
+        shard = sharded.shard_server(0).pipeline
+        assert a is not shard and b is not shard
+        assert a.execute_stage is shard.execute_stage
+        assert a.audit_stage is shard.audit_stage
+
+
+class TestFusedVersusStagedSingle:
+    def test_fused_hot_path_matches_staged_reference(self):
+        # Two servers, same seed: one driven through session.ask (fused
+        # cached fast path), one through pipeline.submit (generic staged
+        # loop).  Answers and audit records must be bit-identical.
+        data = make_data()
+        fused = QueryServer(data, "laplace", seed=5)
+        staged = QueryServer(data, "laplace", seed=5)
+        queries = make_queries(10)
+        session = fused.session("alice")
+        for query in queries + queries:  # second pass replays from cache
+            expected = session.ask(query)
+            outcome = staged.pipeline.submit(Request("alice", query=query))
+            assert outcome.answer == expected
+        fused_log = fused.audit_log.records("alice")
+        staged_log = staged.audit_log.records("alice")
+        assert len(fused_log) == len(staged_log) == 20
+        for a, b in zip(fused_log, staged_log):
+            assert (a.fingerprint, a.answer, a.cached, a.epsilon, a.source) == (
+                b.fingerprint,
+                b.answer,
+                b.cached,
+                b.epsilon,
+                b.source,
+            )
+
+    def test_submit_outcome_accounting(self):
+        server = QueryServer(make_data(), "laplace", seed=5)
+        query = make_queries(1)[0]
+        first = server.pipeline.submit(Request("alice", query=query))
+        assert not first.cached and first.fresh_queries == 1
+        assert first.epsilon_charged == pytest.approx(0.5)
+        replay = server.pipeline.submit(Request("alice", query=query))
+        assert replay.cached and replay.fresh_queries == 0
+        assert replay.epsilon_charged == 0.0
+        assert replay.answer == first.answer
+        workload = Workload.coerce(make_queries(6, seed=10))
+        batch = server.pipeline.submit(Request("alice", workload=workload))
+        assert batch.answers is not None and len(batch.answers) == 6
+        assert batch.fresh_queries == 6
+        again = server.pipeline.submit(Request("alice", workload=workload))
+        assert again.cached and again.epsilon_charged == 0.0
+        assert again.answers == batch.answers
+
+    def test_request_requires_exactly_one_payload(self):
+        query = make_queries(1)[0]
+        with pytest.raises(ValueError):
+            Request("alice")
+        with pytest.raises(ValueError):
+            Request("alice", query=query, workload=Workload.coerce([query]))
+
+
+class TestExecutionBackendBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("mechanism", ["laplace", "gaussian", "subsample"])
+    def test_single_asks_match_inline(self, backend, mechanism):
+        data = make_data()
+        reference = QueryServer(data, mechanism, seed=9, execution="inline")
+        candidate = QueryServer(data, mechanism, seed=9, execution=backend)
+        queries = make_queries(8)
+        for analyst in ("alice", "bob"):
+            ref = reference.session(analyst)
+            got = candidate.session(analyst)
+            for query in queries:
+                assert got.ask(query) == ref.ask(query)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_workloads_match_inline(self, backend):
+        data = make_data()
+        reference = QueryServer(data, "laplace", seed=3, execution="inline")
+        candidate = QueryServer(data, "laplace", seed=3, execution=backend)
+        workload = Workload.random(N, 24, rng=derive_rng(1, "wl"))
+        np.testing.assert_array_equal(
+            candidate.session("alice").ask_workload(workload),
+            reference.session("alice").ask_workload(workload),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_traffic_and_counters_match_inline(self, backend):
+        data = make_data()
+        reference = QueryServer(data, "laplace", seed=7, execution="inline")
+        candidate = QueryServer(data, "laplace", seed=7, execution=backend)
+        queries = make_queries(6)
+        workload = Workload.coerce(make_queries(5, seed=8))
+        for server in (reference, candidate):
+            session = server.session("alice")
+            for query in queries[:3]:
+                session.ask(query)
+            session.ask_workload(workload)
+            for query in queries:  # tail mixes replays with fresh asks
+                session.ask(query)
+        ref_records = reference.audit_log.records("alice")
+        got_records = candidate.audit_log.records("alice")
+        assert [(r.fingerprint, r.answer, r.cached) for r in ref_records] == [
+            (r.fingerprint, r.answer, r.cached) for r in got_records
+        ]
+        ref_state = reference.session("alice")._state
+        got_state = candidate.session("alice")._state
+        assert (
+            got_state.answerer.queries_answered
+            == ref_state.answerer.queries_answered
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_budget_exhaustion_point_matches_inline(self, backend):
+        data = make_data()
+        queries = make_queries(12)
+
+        def exhaust(server):
+            session = server.session("alice")
+            answers = []
+            for query in queries:
+                try:
+                    answers.append(session.ask(query))
+                except BudgetExhausted:
+                    answers.append("refused")
+            return answers
+
+        reference = exhaust(
+            QueryServer(
+                data,
+                "laplace",
+                accountant=BasicAccountant(per_analyst_epsilon=3.0),
+                seed=2,
+                execution="inline",
+            )
+        )
+        candidate = exhaust(
+            QueryServer(
+                data,
+                "laplace",
+                accountant=BasicAccountant(per_analyst_epsilon=3.0),
+                seed=2,
+                execution=backend,
+            )
+        )
+        assert "refused" in reference
+        assert candidate == reference
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_process_backend_actually_crosses_processes(self):
+        import repro.service.pipeline as pipeline_module
+
+        data = make_data()
+        server = QueryServer(data, "laplace", seed=11, execution="process")
+        bound = server.pipeline.execute_stage.bound
+        assert isinstance(bound, pipeline_module._ProcessBound)
+        session = server.session("alice")
+        for query in make_queries(3):
+            session.ask(query)
+        # The parent process must never have built a worker-side answerer.
+        assert not pipeline_module._POOL_ANSWERERS
+        assert not bound._degraded
+
+    def test_unpicklable_mechanism_degrades_to_inline_bit_identically(self):
+        data = make_data()
+        mechanism = lambda d, rng, **p: __import__(  # noqa: E731
+            "repro.queries.mechanism", fromlist=["LaplaceAnswerer"]
+        ).LaplaceAnswerer(d, 0.5, rng=rng)
+        reference = QueryServer(data, mechanism, seed=6, execution="inline")
+        with pytest.warns(RuntimeWarning, match="cannot cross a process boundary"):
+            candidate = QueryServer(data, mechanism, seed=6, execution="process")
+        for query in make_queries(4):
+            assert candidate.ask("alice", query) == reference.ask("alice", query)
+
+    def test_resolver_rejects_unknown_and_honors_env(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_execution_backend("quantum")
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        assert isinstance(resolve_execution_backend(None), ThreadExecutionBackend)
+        monkeypatch.delenv("REPRO_EXEC_BACKEND")
+        assert isinstance(resolve_execution_backend(None), InlineExecutionBackend)
+        backend = ProcessExecutionBackend()
+        assert resolve_execution_backend(backend) is backend
+
+
+@st.composite
+def interleavings(draw):
+    """A schedule of (analyst, kind, index) ops over a small query pool."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alice", "bob", "carol"]),
+                st.sampled_from(["ask", "workload"]),
+                st.integers(min_value=0, max_value=7),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return ops
+
+
+class TestInterleavingBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(schedule=interleavings(), backend=st.sampled_from(BACKENDS))
+    def test_any_schedule_matches_inline(self, schedule, backend):
+        data = make_data()
+        queries = make_queries(8)
+        workloads = [
+            Workload.coerce(queries[i : i + 3] or queries[:1]) for i in range(8)
+        ]
+
+        def run(execution):
+            server = QueryServer(data, "laplace", seed=13, execution=execution)
+            out = []
+            for analyst, kind, index in schedule:
+                session = server.session(analyst)
+                if kind == "ask":
+                    out.append(session.ask(queries[index]))
+                else:
+                    out.append(tuple(session.ask_workload(workloads[index])))
+            return out
+
+        assert run(backend) == run("inline")
+
+
+class TestBudgetLeaseContract:
+    def test_lease_rollback_refunds(self):
+        accountant = BasicAccountant(per_analyst_epsilon=2.0)
+        lease = BudgetLease.acquire(accountant, "alice", 2, 0.5)
+        assert accountant.analyst_epsilon("alice") == pytest.approx(1.0)
+        assert not lease.settled
+        lease.rollback()
+        assert lease.settled and not lease.committed
+        assert accountant.analyst_epsilon("alice") == pytest.approx(0.0)
+        lease.rollback()  # idempotent
+        with pytest.raises(RuntimeError):
+            lease.commit()
+
+    def test_commit_is_final(self):
+        accountant = BasicAccountant()
+        lease = accountant.lease("alice", 1, 0.25)
+        lease.commit()
+        assert lease.committed
+        with pytest.raises(RuntimeError):
+            lease.rollback()
+
+    def test_failed_execute_rolls_back_the_charge(self):
+        # Pre-refactor, a mechanism failure after accountant.charge burned
+        # the budget for an answer never released.  The lease contract
+        # refunds it.
+        class ExplodingAnswerer:
+            epsilon_per_query = 0.5
+
+            def __init__(self):
+                self.calls = 0
+
+            def answer(self, query):
+                self.calls += 1
+                raise RuntimeError("mechanism hardware on fire")
+
+        server = QueryServer(
+            make_data(),
+            lambda data, rng, **p: ExplodingAnswerer(),
+            accountant=BasicAccountant(per_analyst_epsilon=5.0),
+            seed=1,
+        )
+        with pytest.raises(RuntimeError, match="on fire"):
+            server.ask("alice", make_queries(1)[0])
+        assert server.accountant.analyst_epsilon("alice") == pytest.approx(0.0)
+        assert server.accountant.analyst_queries("alice") == 0
+        assert len(server.audit_log) == 0  # nothing released, nothing logged
+
+
+def _auditable_server(data, dispatch, seed=17):
+    auditor = ReconstructionAuditor(
+        data,
+        agreement_threshold=0.8,
+        audit_every=16,
+        min_queries=16,
+        screen="l2",
+    )
+    return QueryServer(
+        data, "exact", auditor=auditor, seed=seed, audit_dispatch=dispatch
+    )
+
+
+class TestAuditDispatch:
+    def test_background_flush_matches_inline_verdicts(self):
+        data = make_data()
+        inline = _auditable_server(data, "inline")
+        background = _auditable_server(data, "background")
+        queries = make_queries(48, density=0.4)
+        refusals_inline = refusals_background = 0
+        from repro.service import CircuitBreakerTripped
+
+        for query in queries:
+            try:
+                inline.ask("alice", query)
+            except CircuitBreakerTripped:
+                refusals_inline += 1
+        for query in queries:
+            try:
+                background.ask("alice", query)
+                background.audit_dispatch.flush()
+            except CircuitBreakerTripped:
+                refusals_background += 1
+        background.close()
+        assert refusals_background == refusals_inline
+        inline_reports = inline.auditor.reports
+        background_reports = background.auditor.reports
+        assert len(background_reports) == len(inline_reports) > 0
+        for a, b in zip(inline_reports, background_reports):
+            assert (a.analyst, a.unique_queries, a.agreement, a.flagged, a.mode) == (
+                b.analyst,
+                b.unique_queries,
+                b.agreement,
+                b.flagged,
+                b.mode,
+            )
+
+    def test_background_breaker_trips_off_the_hot_path(self):
+        data = make_data()
+        server = _auditable_server(data, "background")
+        session = server.session("alice")
+        # 96 exact answers over 64 unknowns: overdetermined, so the audit
+        # pass reconstructs essentially perfectly and must trip.
+        for query in make_queries(96, density=0.4):
+            session.ask(query)
+        assert server.audit_dispatch.flush(timeout=30.0)
+        assert server.auditor.is_tripped("alice")
+        from repro.service import CircuitBreakerTripped
+
+        with pytest.raises(CircuitBreakerTripped):
+            session.ask(make_queries(1, seed=99)[0])
+        server.close()
+
+    def test_pending_signals_deduplicate(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(
+            data, audit_every=1000, min_queries=1000
+        )
+        pool = AuditWorkerPool(auditor, workers=2)
+        gate = threading.Event()
+        original = auditor.maybe_audit
+        calls = []
+
+        def slow_maybe_audit(log, analyst):
+            gate.wait(5.0)
+            calls.append(analyst)
+            return original(log, analyst)
+
+        auditor.maybe_audit = slow_maybe_audit
+        log = QueryServer(data, "exact").audit_log
+        for _ in range(10):
+            pool.after_append(log, "alice")
+        gate.set()
+        assert pool.flush(timeout=10.0)
+        # First signal runs; the 9 landing while it was queued collapse
+        # into at most one follow-up pass.
+        assert 1 <= len(calls) <= 2
+        pool.close()
+
+    def test_closed_pool_falls_back_inline(self):
+        data = make_data()
+        server = _auditable_server(data, "background")
+        pool = server.audit_dispatch
+        pool.close()
+        session = server.session("alice")
+        for query in make_queries(20, density=0.4):
+            session.ask(query)
+        # Verdicts still arrive, just computed inline after close.
+        assert len(server.auditor.reports) > 0
+
+    def test_worker_errors_are_kept_not_fatal(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(data)
+
+        def broken(log, analyst):
+            raise ValueError("solver exploded")
+
+        auditor.maybe_audit = broken
+        pool = AuditWorkerPool(auditor, workers=1)
+        with pytest.warns(RuntimeWarning, match="background audit pass"):
+            pool.after_append(QueryServer(data, "exact").audit_log, "alice")
+            assert pool.flush(timeout=10.0)
+        assert len(pool.errors) == 1
+        pool.close()
+
+    def test_resolver_rejects_unknown(self):
+        data = make_data()
+        with pytest.raises(ValueError):
+            QueryServer(
+                data,
+                "exact",
+                auditor=ReconstructionAuditor(data),
+                audit_dispatch="telepathy",
+            )
+
+
+class TestShardedBackendBitIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sharded_matches_single_server(self, backend):
+        data = make_data()
+        single = QueryServer(data, "laplace", seed=19, execution="inline")
+        sharded = ShardedQueryServer(
+            data, "laplace", seed=19, shards=4, execution=backend
+        )
+        queries = make_queries(6)
+        for analyst in ("alice", "bob", "carol"):
+            reference = single.session(analyst)
+            session = sharded.session(analyst)
+            for query in queries:
+                assert session.ask(query) == reference.ask(query)

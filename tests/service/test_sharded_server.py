@@ -194,6 +194,51 @@ class TestAdmissionControl:
         session.ask(query)  # refilled
         assert sharded.rejections == {"rate_limit": 1, "overload": 0}
 
+    def test_backwards_clock_step_never_drains_tokens(self):
+        # Regression: with a wall clock stepping backwards (NTP slew), the
+        # old bucket added a *negative* elapsed refill, draining tokens the
+        # analyst never spent and inflating retry_after past one refill
+        # interval.  The bucket now clamps elapsed at zero and defaults to
+        # time.monotonic.
+        import time as time_module
+
+        from repro.service.sharded import _TokenBucket
+
+        now = [100.0]
+        bucket = _TokenBucket(RateLimit(rate=2.0, burst=2), clock=lambda: now[0])
+        bucket.admit("alice")
+        now[0] -= 50.0  # wall clock jumps back
+        bucket.admit("alice")  # second burst token must still be there
+        with pytest.raises(Rejected) as caught:
+            bucket.admit("alice")
+        # Worst case for an empty bucket is one full token at rate 2/s.
+        assert 0.0 < caught.value.retry_after <= 0.5 + 1e-9
+        now[0] += 0.5  # refills resume from the stepped-back stamp
+        bucket.admit("alice")
+        # And the default server clock is monotonic, immune to wall steps.
+        sharded = ShardedQueryServer(
+            make_data(), "laplace", seed=3, rate_limit=RateLimit(rate=5.0, burst=2)
+        )
+        assert sharded._clock is time_module.monotonic
+
+    def test_admitted_invalid_query_still_consumes_a_token(self):
+        # Admission runs before validation (pre-refactor ordering): a
+        # malformed query from an admitted request burned its token.
+        now = [0.0]
+        sharded = ShardedQueryServer(
+            make_data(),
+            "laplace",
+            seed=3,
+            shards=2,
+            rate_limit=RateLimit(rate=1.0, burst=1),
+            clock=lambda: now[0],
+        )
+        session = sharded.session("alice")
+        with pytest.raises(ValueError):
+            session.ask(SubsetQuery(np.ones(N + 1, dtype=bool)))
+        with pytest.raises(Rejected):  # the bad ask consumed the only token
+            session.ask(make_queries(1)[0])
+
     def test_rate_limits_are_per_analyst(self):
         now = [0.0]
         sharded = ShardedQueryServer(
