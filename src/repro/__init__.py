@@ -28,6 +28,10 @@ the most commonly used entry points are re-exported here:
   :class:`~repro.service.audit.ReconstructionAuditor`, and the typed
   refusals :class:`~repro.privacy.accounting.BudgetExhausted` /
   :class:`~repro.service.audit.CircuitBreakerTripped`;
+* the observability layer —
+  :class:`~repro.telemetry.MetricsRegistry`,
+  :class:`~repro.telemetry.SpanRecorder`, and
+  :func:`~repro.telemetry.snapshot` (enable with ``REPRO_TELEMETRY=1``);
 * the experiment harness —
   :func:`~repro.experiments.run_experiment` (E1-E19).
 
@@ -83,6 +87,7 @@ from repro.service import (
     QueryServer,
     ReconstructionAuditor,
 )
+from repro.telemetry import MetricsRegistry, SpanRecorder, snapshot
 
 __version__ = "1.0.0"
 
@@ -105,6 +110,7 @@ __all__ = [
     "LegalVerdict",
     "Mechanism",
     "MechanismSpec",
+    "MetricsRegistry",
     "PSOContext",
     "PSOGame",
     "PSOGameResult",
@@ -113,6 +119,7 @@ __all__ = [
     "PrivacySpend",
     "QueryServer",
     "ReconstructionAuditor",
+    "SpanRecorder",
     "TechnicalPremise",
     "TheoremCheck",
     "TrivialAttacker",
@@ -124,5 +131,6 @@ __all__ = [
     "legal_corollary_2_1",
     "legal_theorem_2_1",
     "run_all_checks",
+    "snapshot",
     "working_party_comparison",
 ]

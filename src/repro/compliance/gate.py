@@ -66,10 +66,30 @@ class ComplianceGate:
             approvals minted against a laxer policy.
     """
 
-    def __init__(self, policy: Policy | None = None):
+    def __init__(self, policy: Policy | None = None, *, telemetry=None):
         self.policy = policy
         self._approved: dict[str, ComplianceCertificate] = {}
         self._lock = threading.Lock()
+        self._telemetry = None
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register this gate's lookup-latency and denial metrics.
+
+        Idempotent: the gate is shared across shards, every shard server
+        binds it, and the first bind wins.  ``require`` runs off the
+        per-query hot path (spec registration, fallback activation), so
+        timing it costs nothing per answer.
+        """
+        if self._telemetry is not None or not getattr(telemetry, "enabled", False):
+            return
+        from repro.telemetry.instrument import COMPLIANCE_REQUIRE_SECONDS
+
+        self._telemetry = telemetry
+        self._require_hist = telemetry.registry.histogram(
+            COMPLIANCE_REQUIRE_SECONDS
+        )
 
     def approve(
         self, certificate: ComplianceCertificate, release: object
@@ -130,8 +150,32 @@ class ComplianceGate:
         """The runtime check: return the approval or refuse, typed.
 
         One fingerprint of the release (cheap and off the per-query path)
-        and one dict lookup.
+        and one dict lookup.  With telemetry bound, the lookup is timed
+        and denials are counted by reason and failing requirement.
         """
+        if self._telemetry is None:
+            return self._require(release, subject=subject, analyst=analyst)
+        clock = self._telemetry.clock
+        start = clock()
+        try:
+            return self._require(release, subject=subject, analyst=analyst)
+        except ComplianceDenied as denial:
+            from repro.telemetry.instrument import COMPLIANCE_DENIALS
+
+            registry = self._telemetry.registry
+            for requirement in denial.failing or (denial.reason,):
+                registry.counter(
+                    COMPLIANCE_DENIALS,
+                    reason=denial.reason,
+                    requirement=requirement,
+                ).inc()
+            raise
+        finally:
+            self._require_hist.observe(clock() - start)
+
+    def _require(
+        self, release: object, *, subject: str = "release", analyst: str = ""
+    ) -> ComplianceCertificate:
         if release is None:
             raise ComplianceDenied(
                 f"{subject!r} declares no certifiable release object",

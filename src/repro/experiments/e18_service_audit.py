@@ -20,6 +20,8 @@ but far too few to reconstruct.  Neither may be flagged.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.experiments.runner import ExperimentResult, register
@@ -36,7 +38,10 @@ from repro.utils.tables import Table
 
 @register("E18")
 def run(
-    seed: int = 0, quick: bool = False, audit_dispatch: str = "inline"
+    seed: int = 0,
+    quick: bool = False,
+    audit_dispatch: str = "inline",
+    trace: bool = False,
 ) -> ExperimentResult:
     """Serve attacker + benign sessions; report the auditor's verdicts.
 
@@ -47,12 +52,31 @@ def run(
     compliance check — the trip point, replayed agreements, and every
     headline value are bit-identical to the inline run.  The default stays
     inline so the golden headlines are the single-threaded reference.
+
+    ``trace=True`` wraps each phase of the deployment in
+    :class:`~repro.telemetry.SpanRecorder` spans and appends the rendered
+    span tree as an extra table — where the experiment's wall-clock time
+    went (attack batches vs. audit passes vs. benign traffic).  Span ids
+    come from a counter and durations from the monotonic clock, so every
+    headline value is bit-identical with tracing on or off.
     """
     n = 128 if quick else 256
     epsilon_per_query = 0.25
     threshold = 0.8
     batch = n // 8
     max_batches = 64
+
+    if trace:
+        from repro.telemetry import SpanRecorder
+
+        recorder = SpanRecorder()
+    else:
+        recorder = None
+
+    def span(name, **annotations):
+        if recorder is None:
+            return nullcontext()
+        return recorder.span(name, **annotations)
 
     data = derive_rng(seed, "e18-data").integers(0, 2, size=n)
     auditor = ReconstructionAuditor(
@@ -89,37 +113,48 @@ def run(
     queries_served = 0
     tripped = False
     agreement_at_trip = float("nan")
-    for _ in range(max_batches):
-        workload = Workload.random(n, batch, rng=attack_rng)
-        try:
-            attacker.ask_workload(workload)
-            # Under a background dispatch, wait for the pass this batch may
-            # have signalled; the verdict then gates the next batch exactly
-            # where the inline auditor would have tripped.
-            server.audit_dispatch.flush()
-            queries_served += len(workload)
-        except CircuitBreakerTripped as refusal:
-            tripped = True
-            agreement_at_trip = refusal.report.agreement
-            break
+    with span("e18", n=n, dispatch=audit_dispatch) as root:
+        with span("attack"):
+            for index in range(max_batches):
+                workload = Workload.random(n, batch, rng=attack_rng)
+                try:
+                    with span("attack_batch", batch=index, queries=len(workload)):
+                        attacker.ask_workload(workload)
+                        # Under a background dispatch, wait for the pass this
+                        # batch may have signalled; the verdict then gates the
+                        # next batch exactly where the inline auditor would
+                        # have tripped.
+                        server.audit_dispatch.flush()
+                    queries_served += len(workload)
+                except CircuitBreakerTripped as refusal:
+                    tripped = True
+                    agreement_at_trip = refusal.report.agreement
+                    break
 
-    # --- benign dashboard: a fixed 24-query panel, re-asked every round.
-    dashboard = server.session("dashboard")
-    panel = Workload.random(n, 24, rng=derive_rng(seed, "e18-panel"))
-    first_round = dashboard.ask_workload(panel)
-    replay_drift = 0.0
-    for _ in range(24):
-        replay = dashboard.ask_workload(panel)
-        replay_drift = max(replay_drift, float(np.abs(replay - first_round).max()))
+        # --- benign dashboard: a fixed 24-query panel, re-asked every round.
+        dashboard = server.session("dashboard")
+        panel = Workload.random(n, 24, rng=derive_rng(seed, "e18-panel"))
+        replay_drift = 0.0
+        with span("dashboard", panel=len(panel)):
+            first_round = dashboard.ask_workload(panel)
+            for _ in range(24):
+                replay = dashboard.ask_workload(panel)
+                replay_drift = max(
+                    replay_drift, float(np.abs(replay - first_round).max())
+                )
 
-    # --- benign researcher: distinct queries, enough to be audited.
-    researcher = server.session("researcher")
-    researcher.ask_workload(
-        Workload.random(n, n // 4 + n // 8, rng=derive_rng(seed, "e18-research"))
-    )
-    # Settle any in-flight background passes before reading verdicts, and
-    # retire worker threads; both are no-ops for the inline dispatch.
-    server.close()
+        # --- benign researcher: distinct queries, enough to be audited.
+        researcher = server.session("researcher")
+        with span("researcher"):
+            researcher.ask_workload(
+                Workload.random(
+                    n, n // 4 + n // 8, rng=derive_rng(seed, "e18-research")
+                )
+            )
+        # Settle any in-flight background passes before reading verdicts, and
+        # retire worker threads; both are no-ops for the inline dispatch.
+        with span("drain"):
+            server.close()
 
     trajectory = Table(
         ["unique queries", "replayed agreement", "flagged"],
@@ -153,6 +188,15 @@ def run(
             ]
         )
 
+    tables = [trajectory, sessions]
+    if recorder is not None:
+        trace_table = Table(
+            ["span"], title="E18: where the deployment's wall-clock time went"
+        )
+        for line in recorder.render(root.trace_id).splitlines():
+            trace_table.add_row([line])
+        tables.append(trace_table)
+
     return ExperimentResult(
         experiment_id="E18",
         title="Online reconstruction audit of a statistical-query service",
@@ -161,7 +205,7 @@ def run(
             "operator watching its own query log can detect the attack "
             "transcript before reconstruction becomes blatant (agreement >= 0.9)"
         ),
-        tables=(trajectory, sessions),
+        tables=tuple(tables),
         headline={
             "attacker_flagged": tripped,
             "agreement_at_trip": agreement_at_trip,

@@ -775,11 +775,44 @@ class ShardedAccountant:
         self.lease_chunk = lease_chunk
         self._leases = tuple(_EpsilonLease() for _ in range(self.shards))
         self._broker_lock = threading.Lock()
+        #: Exact global reconciliations run so far (lease exhaustion events).
+        self.reconciliations = 0
+        self._telemetry = None
         # First-charge order across all shards: the exact global check must
         # sum composed epsilons in the same order ServiceAccountant's
         # ledger dict iterates, or float rounding breaks bit-identity.
         self._order: list[tuple[int, str]] = []
         self._known: dict[str, int] = {}
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Register budget gauges and the reconciliation counter (idempotent).
+
+        One accountant serves every shard server, so all of them bind the
+        same instance; the first bind wins.  Every metric is a snapshot
+        -time callback — ``global_spent`` takes the broker lock, which is
+        exactly the read path diagnostics already use, and nothing is
+        added to the charge hot path beyond the ``reconciliations``
+        integer bump already inside the reconciliation critical section.
+        """
+        if self._telemetry is not None or not getattr(telemetry, "enabled", False):
+            return
+        from repro.telemetry.instrument import (
+            BUDGET_EPSILON_REMAINING,
+            BUDGET_EPSILON_SPENT,
+            LEASE_RECONCILIATIONS,
+        )
+
+        self._telemetry = telemetry
+        registry = telemetry.registry
+        registry.counter_fn(
+            LEASE_RECONCILIATIONS, lambda: float(self.reconciliations)
+        )
+        registry.gauge_fn(BUDGET_EPSILON_SPENT, lambda: self.global_spent())
+        if self.global_epsilon is not None:
+            registry.gauge_fn(
+                BUDGET_EPSILON_REMAINING,
+                lambda: max(0.0, self.global_epsilon - self.global_spent()),
+            )
 
     # -- routing ------------------------------------------------------------
 
@@ -850,6 +883,7 @@ class ShardedAccountant:
         """
         assert self.global_epsilon is not None
         with self._broker_lock:
+            self.reconciliations += 1
             for lease in self._leases:
                 lease.drain()
             grand = self._grand_total()

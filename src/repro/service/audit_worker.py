@@ -40,6 +40,7 @@ Three dispatches:
 
 from __future__ import annotations
 
+import itertools
 import os
 import queue
 import threading
@@ -48,6 +49,14 @@ from abc import ABC, abstractmethod
 
 from repro.privacy.accounting import stable_shard
 from repro.service.audit import AuditLog, ReconstructionAuditor
+from repro.telemetry.instrument import (
+    AUDIT_ERRORS,
+    AUDIT_ESCALATIONS,
+    AUDIT_PASS_SECONDS,
+    AUDIT_QUEUE_DEPTH,
+    AUDIT_QUEUE_DEPTH_PEAK,
+    BREAKER_TRIPS,
+)
 
 __all__ = [
     "AuditDispatch",
@@ -118,7 +127,16 @@ class AuditWorkerPool(AuditDispatch):
             analyst's passes.
     """
 
-    def __init__(self, auditor: ReconstructionAuditor, workers: int | None = None):
+    #: Distinguishes pools living in one shared registry (CI smoke, env
+    #: default): each pool's metrics carry a stable ``pool=<n>`` label.
+    _pool_ids = itertools.count()
+
+    def __init__(
+        self,
+        auditor: ReconstructionAuditor,
+        workers: int | None = None,
+        telemetry=None,
+    ):
         if workers is None:
             workers = default_audit_workers()
         if workers <= 0:
@@ -129,6 +147,10 @@ class AuditWorkerPool(AuditDispatch):
         self._inflight = 0
         self._closed = False
         self._errors: list[BaseException] = []
+        self._telemetry = None
+        self.depth_peak = 0
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            self.bind_telemetry(telemetry)
         self._queues: list[queue.SimpleQueue] = [
             queue.SimpleQueue() for _ in range(workers)
         ]
@@ -158,6 +180,37 @@ class AuditWorkerPool(AuditDispatch):
         with self._cond:
             return tuple(self._errors)
 
+    def bind_telemetry(self, telemetry) -> None:
+        """Register this pool's queue/pass metrics (idempotent).
+
+        Every shard server sharing one pool calls in; the first bind wins.
+        Depth and error counts are snapshot-time callbacks over state the
+        pool already maintains, so the signal path pays nothing; pass
+        latency, escalations, and breaker trips are recorded on the worker
+        threads, off the serving hot path.
+        """
+        if self._telemetry is not None or not getattr(telemetry, "enabled", False):
+            return
+        self._telemetry = telemetry
+        registry = telemetry.registry
+        pool = str(next(AuditWorkerPool._pool_ids))
+        registry.gauge_fn(
+            AUDIT_QUEUE_DEPTH, lambda: float(self._inflight), pool=pool
+        )
+        registry.gauge_fn(
+            AUDIT_QUEUE_DEPTH_PEAK, lambda: float(self.depth_peak), pool=pool
+        )
+        registry.counter_fn(
+            AUDIT_ERRORS, lambda: float(len(self._errors)), pool=pool
+        )
+        self._pass_hist = {
+            "cold": registry.histogram(AUDIT_PASS_SECONDS, pool=pool, warm="cold"),
+            "warm": registry.histogram(AUDIT_PASS_SECONDS, pool=pool, warm="warm"),
+        }
+        self._escalations = registry.counter(AUDIT_ESCALATIONS, pool=pool)
+        self._trips = registry.counter(BREAKER_TRIPS, pool=pool)
+        self._audited: set[tuple[int, str]] = set()
+
     def after_append(self, log: AuditLog, analyst: str) -> None:
         key = (id(log), analyst)
         with self._cond:
@@ -169,6 +222,8 @@ class AuditWorkerPool(AuditDispatch):
                     return
                 self._pending.add(key)
                 self._inflight += 1
+                if self._inflight > self.depth_peak:
+                    self.depth_peak = self._inflight
         if closed:
             # Late signals after shutdown still get their verdicts — they
             # just pay for the pass inline, like the pre-refactor path.
@@ -186,7 +241,9 @@ class AuditWorkerPool(AuditDispatch):
             with self._cond:
                 self._pending.discard((id(log), analyst))
             try:
-                self._auditor.maybe_audit(log, analyst)
+                report = self._auditor.maybe_audit(log, analyst)
+                if self._telemetry is not None and report is not None:
+                    self._record_pass((id(log), analyst), report)
             except BaseException as error:  # a failed pass must not kill the tail
                 with self._cond:
                     self._errors.append(error)
@@ -200,6 +257,23 @@ class AuditWorkerPool(AuditDispatch):
                     self._inflight -= 1
                     if self._inflight == 0:
                         self._cond.notify_all()
+
+    def _record_pass(self, key: tuple[int, str], report) -> None:
+        """Record one completed pass: latency (cold/warm), escalation, trip.
+
+        "Warm" means this pool has already audited the same ``(log,
+        analyst)`` — later passes reuse the auditor's warm-started solver
+        state, so their latency belongs in a separate histogram.
+        """
+        warm = key in self._audited
+        self._audited.add(key)
+        self._pass_hist["warm" if warm else "cold"].observe(
+            float(report.elapsed_seconds)
+        )
+        if getattr(report, "escalated", False):
+            self._escalations.inc()
+        if getattr(report, "flagged", False):
+            self._trips.inc()
 
     def flush(self, timeout: float | None = None) -> bool:
         """Block until every signalled pass has completed.

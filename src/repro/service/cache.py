@@ -104,6 +104,7 @@ class AnswerCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -113,6 +114,22 @@ class AnswerCache:
         """Fraction of lookups served from cache (0.0 before any lookup)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Point-in-time ``{hits, misses, evictions, entries, hit_rate}``."""
+        with self._lock:
+            hits = self.hits
+            misses = self.misses
+            evictions = self.evictions
+            entries = len(self._entries)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "entries": entries,
+            "hit_rate": hits / total if total else 0.0,
+        }
 
     def get(self, fingerprint: bytes) -> float | None:
         """The cached answer, or ``None``; counts a hit or miss."""
@@ -134,6 +151,7 @@ class AnswerCache:
                 self._entries.move_to_end(fingerprint)
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
 
     def lookup_many(self, fingerprints: list[bytes]) -> list[float | None]:
         """Batch :meth:`get`, one lock acquisition for the whole workload."""
@@ -162,6 +180,7 @@ class AnswerCache:
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
+                    self.evictions += 1
 
 
 class StripedAnswerCache:
@@ -206,11 +225,34 @@ class StripedAnswerCache:
         return sum(stripe.misses for stripe in self._stripes)
 
     @property
+    def evictions(self) -> int:
+        return sum(stripe.evictions for stripe in self._stripes)
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache, across all stripes."""
         hits = self.hits
         total = hits + self.misses
         return hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Merged ``{hits, misses, evictions, entries, hit_rate, per_stripe}``.
+
+        ``per_stripe`` is a tuple of each stripe's own :meth:`AnswerCache.stats`
+        dict, in stripe order, so hot-stripe skew is visible.
+        """
+        per_stripe = tuple(stripe.stats() for stripe in self._stripes)
+        hits = sum(s["hits"] for s in per_stripe)
+        misses = sum(s["misses"] for s in per_stripe)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(s["evictions"] for s in per_stripe),
+            "entries": sum(s["entries"] for s in per_stripe),
+            "hit_rate": hits / total if total else 0.0,
+            "per_stripe": per_stripe,
+        }
 
     def get(self, fingerprint: bytes) -> float | None:
         return self._stripe(fingerprint).get(fingerprint)

@@ -67,11 +67,24 @@ from repro.privacy.accounting import BudgetExhausted, BudgetLease
 from repro.queries.query import SubsetQuery
 from repro.queries.workload import Workload
 from repro.service.cache import fingerprint_and_packed, workload_fingerprints_packed
+from repro.telemetry.instrument import (
+    ADMISSION_REJECTS,
+    REQUESTS_TOTAL,
+    STAGE_SECONDS,
+    TelemetryAdmission,
+    TelemetryStage,
+    analyst_digest_prefix,
+)
 from repro.utils.parallel import fork_available, shared_fork_executor
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:
     from repro.service.server import QueryServer, _AnalystState
+
+#: Fused cache hits are latency-sampled every ``mask + 1`` hits (the first
+#: hit always lands, keeping the family non-zero after one replay).  Must
+#: be ``2**k - 1`` so the sampling test is one AND.
+_HIT_SAMPLE_MASK = 7
 
 __all__ = [
     "EXECUTION_BACKENDS",
@@ -864,6 +877,97 @@ class ServePipeline:
             self._cache_put,
             self._audit_append,
         )
+        # Telemetry attaches at this one seam: the stage tuples get wrapped
+        # (the raw stage attributes above stay raw, so identity-sensitive
+        # consumers — execute_stage, audit_stage, the fused fast path —
+        # keep the unwrapped units), and the disabled path pays exactly
+        # one `is None` check per request.
+        telemetry = getattr(server, "telemetry", None)
+        if telemetry is not None and telemetry.enabled:
+            self._telemetry = telemetry
+            self._instrument(server)
+        else:
+            self._telemetry = None
+
+    def _instrument(self, server: "QueryServer") -> None:
+        """Wrap the stage tuples and pre-resolve every hot-path instrument."""
+        telemetry = self._telemetry
+        registry = telemetry.registry
+        clock = telemetry.clock
+        self._clock = clock
+        mechanism = server.mechanism if isinstance(server.mechanism, str) else "custom"
+        self._labels = {
+            "shard": str(getattr(server, "shard_index", 0)),
+            "mechanism": mechanism,
+        }
+
+        def stage_hist(stage_name: str):
+            return registry.histogram(
+                STAGE_SECONDS, stage=stage_name, **self._labels
+            )
+
+        wrapped = {
+            stage.name: TelemetryStage(stage, stage_hist(stage.name), clock)
+            for stage in self._serving
+        }
+        self._serving = tuple(wrapped[stage.name] for stage in self._serving)
+        self._miss_stages = tuple(wrapped[stage.name] for stage in self._miss_stages)
+        # The fused cached-replay branch is one histogram observation: per-
+        # unit timing there would cost more than the work it measures.  The
+        # batched path (and the miss stages) carry the per-stage split.
+        self._hit_hist = stage_hist("cache_hit_fastpath")
+        self._single_miss_hist = stage_hist("single_miss")
+        self._admission_hist = stage_hist("admission")
+        # Bound-method handles shave one attribute walk per request off the
+        # fused branch, which operates on a single-digit-microsecond budget.
+        self._hit_observe = self._hit_hist.observe
+        self._single_miss_observe = self._single_miss_hist.observe
+        # The fused hit path samples every _HIT_SAMPLE_MASK + 1-th hit (first
+        # hit always included): a full histogram record costs a measurable
+        # slice of the ~8 us hit itself, and the latency *distribution*
+        # does not need every data point — while misses, dominated by the
+        # >=50 us mechanism call, are always recorded.
+        self._hit_tick = 0
+        # Shadow the fused single-query path with its timed twin so the
+        # untimed body never has to test for telemetry per request.
+        self._single_locked = self._single_locked_instrumented
+        # Pre-created at zero so the reject families are present in every
+        # snapshot, not only after the first refusal.
+        self._reject_counters = {
+            reason: registry.counter(
+                ADMISSION_REJECTS, reason=reason, shard=self._labels["shard"]
+            )
+            for reason in ("rate_limit", "overload", "other")
+        }
+        # analyst digest prefix -> caches contributing to its request count;
+        # sampled at snapshot time from the hit/miss ints the caches already
+        # maintain, so counting requests costs the hot path nothing.
+        self._request_groups: dict[str, list] = {}
+
+    def register_analyst(self, analyst: str, cache) -> None:
+        """Expose one analyst's request counts (no-op with telemetry off).
+
+        Requests are read off the analyst cache's ``hits + misses`` at
+        snapshot time — every served query (single or workload row)
+        performs exactly one cache consultation.  Analysts sharing a
+        digest prefix sum into one series, so the counter stays monotone
+        even across label collisions.
+        """
+        if self._telemetry is None:
+            return
+        prefix = analyst_digest_prefix(analyst)
+        group = self._request_groups.get(prefix)
+        if group is None:
+            group = self._request_groups.setdefault(prefix, [])
+            self._telemetry.registry.counter_fn(
+                REQUESTS_TOTAL,
+                lambda caches=group: float(
+                    sum(c.hits + c.misses for c in caches)
+                ),
+                analyst=prefix,
+                **self._labels,
+            )
+        group.append(cache)
 
     @property
     def stages(self) -> tuple:
@@ -889,6 +993,10 @@ class ServePipeline:
         """
         clone = object.__new__(ServePipeline)
         clone.__dict__.update(self.__dict__)
+        if self._telemetry is not None:
+            admission = TelemetryAdmission(
+                admission, self._admission_hist, self._reject_counters, self._clock
+            )
         clone._admission = admission
         return clone
 
@@ -908,6 +1016,9 @@ class ServePipeline:
             admission.exit(analyst)
 
     def _single_locked(self, state, analyst: str, query: SubsetQuery) -> float:
+        # With telemetry enabled, ``_instrument`` shadows this method with
+        # ``_single_locked_instrumented`` on the instance, so neither mode
+        # pays a per-request dispatch branch here.
         server = self._server
         if query.n != server.n:
             raise ValueError(f"query addresses n={query.n}, data has n={server.n}")
@@ -928,6 +1039,54 @@ class ServePipeline:
             x.packed = packed
             x.size = size
             self._run_miss_single(x)
+            return x.answer
+
+    def _single_locked_instrumented(
+        self, state, analyst: str, query: SubsetQuery
+    ) -> float:
+        """The same operations as :meth:`_single_locked`, timed.
+
+        The cached-replay branch samples one histogram record
+        (``stage="cache_hit_fastpath"``) on every ``_HIT_SAMPLE_MASK +
+        1``-th hit, first hit always included, so the family is non-zero
+        after a single replay.  A full record (clock read + bucket
+        observe) costs ~10% of the ~8 us hit itself; sampling keeps the
+        steady-state telemetry tax to one clock read and a counter bump
+        per hit, well inside the bench guard band, while the recorded
+        distribution stays representative.  The miss branch records
+        whole-request latency (``stage="single_miss"``) on every miss and
+        lets the wrapped miss stages time themselves; its pre-mechanism
+        compliance/lookup work is sub-microsecond against a >=50 us
+        mechanism call, so it carries no per-unit split here — the
+        batched path provides that.  Operation order is identical to the
+        uninstrumented body, so answers, charges, and audit records stay
+        bit-identical.
+        """
+        server = self._server
+        if query.n != server.n:
+            raise ValueError(f"query addresses n={query.n}, data has n={server.n}")
+        clock = self._clock
+        with state.lock:
+            start = clock()
+            self._compliance.check(analyst)
+            mask = query.mask
+            fingerprint, packed, size, cached = self._cache_lookup.probe(state, mask)
+            if cached is not None:
+                self._audit_append.append_hit(
+                    analyst, fingerprint, mask, cached, packed, size
+                )
+                tick = self._hit_tick + 1
+                self._hit_tick = tick
+                if (tick & _HIT_SAMPLE_MASK) == 1:
+                    self._hit_observe(clock() - start)
+                return cached
+            x = Exchange(server, state, analyst, query=query)
+            x.mask = mask
+            x.fingerprint = fingerprint
+            x.packed = packed
+            x.size = size
+            self._run_miss_single(x)
+            self._single_miss_observe(clock() - start)
             return x.answer
 
     def _run_miss_single(self, x: Exchange) -> None:

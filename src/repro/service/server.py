@@ -75,6 +75,7 @@ from repro.service.pipeline import (
     resolve_execution_backend,
 )
 from repro.synth.binary import BinaryRelease, synthesize_binary
+from repro.telemetry import NullTelemetry, Telemetry, resolve_telemetry
 from repro.utils.rng import RngSeed, derive_rng
 
 #: Mechanism spec -> factory(data, rng, **params).  "subsample" is the
@@ -292,6 +293,16 @@ class QueryServer:
             pre-refactor behavior), or ``"background"`` (a
             :class:`~repro.service.audit_worker.AuditWorkerPool` tails
             the audit log off the hot path).  Ignored without an auditor.
+        telemetry: observability — a :class:`~repro.telemetry.Telemetry`
+            instance (isolated registry), ``True``/``False``, or ``None``
+            (default) to consult ``REPRO_TELEMETRY``.  When enabled, the
+            pipeline records per-stage latency histograms, per-analyst
+            request counts, and admission rejects, and shared components
+            (accountant, gate, audit workers) bind their own gauges.
+            Answers are bit-identical with telemetry on or off.
+        shard_index: the ``shard`` label this server's metrics carry (a
+            sharded front end numbers its shards; standalone servers are
+            shard 0).
     """
 
     def __init__(
@@ -307,6 +318,8 @@ class QueryServer:
         compliance: ComplianceGate | None = None,
         execution: str | ExecutionBackend | None = None,
         audit_dispatch: str | AuditDispatch | None = None,
+        telemetry: Telemetry | NullTelemetry | bool | None = None,
+        shard_index: int = 0,
     ):
         array = np.asarray(data)
         self._data = _validate_binary(array, array.size)
@@ -329,8 +342,18 @@ class QueryServer:
         self._cache_factory: Callable[[str], AnswerCache | AnalystCacheView] | None = None
         self._states: dict[str, _AnalystState] = {}
         self._states_lock = threading.Lock()
+        self.telemetry = resolve_telemetry(telemetry)
+        self.shard_index = int(shard_index)
         self.execution = resolve_execution_backend(execution)
         self.audit_dispatch = resolve_audit_dispatch(audit_dispatch, self.auditor)
+        if self.telemetry.enabled:
+            # Shared components (the sharded accountant, the gate, a
+            # background audit pool) bind once — binds are idempotent, so
+            # every shard of a front end calling in is harmless.
+            for component in (self.accountant, self.compliance, self.audit_dispatch):
+                bind = getattr(component, "bind_telemetry", None)
+                if bind is not None:
+                    bind(self.telemetry)
         self._pipeline = ServePipeline(
             self, self.execution.bind(self), self.audit_dispatch
         )
@@ -451,6 +474,7 @@ class QueryServer:
                     spec=spec,
                 )
                 self._states[analyst] = state
+                self._pipeline.register_analyst(analyst, cache)
             return state
 
     def ask(self, analyst: str, query: SubsetQuery) -> float:

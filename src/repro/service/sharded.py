@@ -59,6 +59,13 @@ from repro.service.cache import AnalystCacheView, StripedAnswerCache
 from repro.service.pipeline import AdmissionControl, resolve_execution_backend
 from repro.service.server import AnalystSession, QueryServer, SyntheticFallback
 from repro.synth.binary import BinaryRelease
+from repro.telemetry import resolve_telemetry
+from repro.telemetry.instrument import (
+    CACHE_ENTRIES,
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+)
 
 __all__ = [
     "RateLimit",
@@ -236,6 +243,11 @@ class ShardedQueryServer:
             shard count and no budgets; pass a configured one to enforce
             per-analyst/global caps.  A plain :class:`ServiceAccountant`
             also works (it is simply shared across shards).
+        telemetry: observability — a :class:`~repro.telemetry.Telemetry`
+            instance, ``True``/``False``, or ``None`` (default: consult
+            ``REPRO_TELEMETRY``).  When enabled, every shard server
+            instruments its pipeline with this facade and per-stripe
+            cache counters are exported at snapshot time.
 
     The auditor, accountant, synthetic-fallback release, compliance gate,
     and dataset are shared across shards; caches and serving states are
@@ -263,6 +275,7 @@ class ShardedQueryServer:
         clock: Callable[[], float] = time.monotonic,
         execution=None,
         audit_dispatch=None,
+        telemetry=None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -274,6 +287,7 @@ class ShardedQueryServer:
         self.compliance = compliance
         self.rate_limit = rate_limit
         self._clock = clock
+        self.telemetry = resolve_telemetry(telemetry)
         # One execution backend and one audit dispatch for the whole front
         # end: shards bind the same backend (sharing its pools/workers) and
         # publish audit signals through the same worker pool.
@@ -296,8 +310,10 @@ class ShardedQueryServer:
                 compliance=compliance,
                 execution=self.execution,
                 audit_dispatch=self.audit_dispatch,
+                telemetry=self.telemetry,
+                shard_index=index,
             )
-            for _ in range(self.shards)
+            for index in range(self.shards)
         )
         # Shards share one fallback holder (one release, paid once) and
         # scope their analysts' caches into the shard's striped cache.
@@ -308,6 +324,8 @@ class ShardedQueryServer:
             server._cache_factory = (
                 lambda analyst, _cache=cache: AnalystCacheView(_cache, analyst)
             )
+        if self.telemetry.enabled:
+            self._register_cache_metrics()
         # No bound configured -> no gate object at all: the unbounded hot
         # path must not pay two lock acquisitions per request for a gate
         # that can never refuse.
@@ -319,6 +337,31 @@ class ShardedQueryServer:
         )
         self._buckets: dict[str, _TokenBucket] = {}
         self._buckets_lock = threading.Lock()
+
+    def _register_cache_metrics(self) -> None:
+        """Expose every stripe's counters as snapshot-time callbacks.
+
+        Stripes already count hits/misses/evictions as plain ints under
+        their own locks; sampling those at snapshot time costs the hot
+        path nothing.  Labels are ``(shard, stripe)`` so hot-stripe skew
+        shows up on a dashboard without any per-request work.
+        """
+        registry = self.telemetry.registry
+        for shard, cache in enumerate(self._shard_caches):
+            for index, stripe in enumerate(cache._stripes):
+                labels = {"shard": str(shard), "stripe": str(index)}
+                registry.counter_fn(
+                    CACHE_HITS, lambda s=stripe: float(s.hits), **labels
+                )
+                registry.counter_fn(
+                    CACHE_MISSES, lambda s=stripe: float(s.misses), **labels
+                )
+                registry.counter_fn(
+                    CACHE_EVICTIONS, lambda s=stripe: float(s.evictions), **labels
+                )
+                registry.gauge_fn(
+                    CACHE_ENTRIES, lambda s=stripe: float(len(s)), **labels
+                )
 
     # -- routing ------------------------------------------------------------
 
@@ -402,6 +445,27 @@ class ShardedQueryServer:
         rate_limited = sum(bucket.rejections for bucket in self._buckets.values())
         overloaded = sum(gate.rejections for gate in self._gates if gate is not None)
         return {"rate_limit": rate_limited, "overload": overloaded}
+
+    def stats(self) -> dict:
+        """Cache statistics merged across every shard's striped cache.
+
+        Top-level ``hits``/``misses``/``evictions``/``entries``/``hit_rate``
+        sum over all shards; ``per_shard`` holds each shard's own
+        :meth:`~repro.service.cache.StripedAnswerCache.stats` dict (which
+        in turn carries ``per_stripe``) for drill-down.
+        """
+        per_shard = tuple(cache.stats() for cache in self._shard_caches)
+        hits = sum(s["hits"] for s in per_shard)
+        misses = sum(s["misses"] for s in per_shard)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(s["evictions"] for s in per_shard),
+            "entries": sum(s["entries"] for s in per_shard),
+            "hit_rate": hits / total if total else 0.0,
+            "per_shard": per_shard,
+        }
 
     @property
     def fallback_release(self) -> BinaryRelease | None:

@@ -1,0 +1,296 @@
+"""Snapshots and renderers: frozen metric points, Prometheus text, JSON, diff.
+
+A :func:`snapshot` is the *only* way telemetry leaves the process: it
+walks the registry once, reads every instrument under its own lock (and
+samples callback instruments), and freezes the result into hashable
+dataclasses.  Everything downstream — the Prometheus text exposition the
+CI smoke scrapes, the JSON dump, the :func:`diff` the benchmarks use to
+isolate one measurement window — operates on snapshots, never on live
+instruments, so exporters can be as slow as they like without touching
+the serving hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CounterPoint",
+    "GaugePoint",
+    "HistogramPoint",
+    "MetricsSnapshot",
+    "diff",
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+]
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class CounterPoint:
+    name: str
+    labels: LabelItems
+    value: float
+
+
+@dataclass(frozen=True)
+class GaugePoint:
+    name: str
+    labels: LabelItems
+    value: float
+
+
+@dataclass(frozen=True)
+class HistogramPoint:
+    name: str
+    labels: LabelItems
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]  # len(bounds) + 1: per-bucket, then overflow
+    sum: float
+    count: int
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen point-in-time view of one registry."""
+
+    counters: tuple[CounterPoint, ...]
+    gauges: tuple[GaugePoint, ...]
+    histograms: tuple[HistogramPoint, ...]
+
+    def counter_value(self, name: str, **labels) -> float | None:
+        """The named counter's value, or ``None`` if absent."""
+        key = _canonical(labels)
+        for point in self.counters:
+            if point.name == name and point.labels == key:
+                return point.value
+        return None
+
+    def gauge_value(self, name: str, **labels) -> float | None:
+        key = _canonical(labels)
+        for point in self.gauges:
+            if point.name == name and point.labels == key:
+                return point.value
+        return None
+
+    def histogram_point(self, name: str, **labels) -> HistogramPoint | None:
+        key = _canonical(labels)
+        for point in self.histograms:
+            if point.name == name and point.labels == key:
+                return point
+        return None
+
+    def families(self) -> tuple[str, ...]:
+        """Distinct metric names present, sorted."""
+        names = {p.name for p in self.counters}
+        names.update(p.name for p in self.gauges)
+        names.update(p.name for p in self.histograms)
+        return tuple(sorted(names))
+
+
+def _canonical(labels: dict[str, object]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def snapshot(source) -> MetricsSnapshot:
+    """Freeze ``source`` — a registry, or anything carrying ``.registry``.
+
+    Accepts a :class:`~repro.telemetry.metrics.MetricsRegistry` or a
+    :class:`~repro.telemetry.Telemetry` facade.  Callback instruments are
+    sampled here (this is their one read point); stored instruments are
+    read under their own locks.  Points come back sorted by
+    ``(name, labels)`` so snapshots of equal state compare equal.
+    """
+    registry = getattr(source, "registry", source)
+    if registry is None or not hasattr(registry, "instruments"):
+        raise TypeError(
+            f"snapshot() needs a MetricsRegistry or a Telemetry, got {source!r}"
+        )
+    counters: list[CounterPoint] = []
+    gauges: list[GaugePoint] = []
+    histograms: list[HistogramPoint] = []
+    for instrument in registry.instruments():
+        kind = instrument.kind
+        if kind == "counter":
+            counters.append(
+                CounterPoint(instrument.name, instrument.labels, instrument.value)
+            )
+        elif kind == "gauge":
+            gauges.append(
+                GaugePoint(instrument.name, instrument.labels, instrument.value)
+            )
+        else:
+            counts, total, count = instrument.read()
+            histograms.append(
+                HistogramPoint(
+                    instrument.name,
+                    instrument.labels,
+                    instrument.bounds,
+                    counts,
+                    total,
+                    count,
+                )
+            )
+    key = lambda point: (point.name, point.labels)  # noqa: E731
+    return MetricsSnapshot(
+        counters=tuple(sorted(counters, key=key)),
+        gauges=tuple(sorted(gauges, key=key)),
+        histograms=tuple(sorted(histograms, key=key)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Renderers
+# ---------------------------------------------------------------------------
+
+
+def _format_labels(labels: LabelItems, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = labels + extra
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return _format_value(bound) if bound != int(bound) else str(int(bound))
+
+
+def to_prometheus(snap: MetricsSnapshot) -> str:
+    """The Prometheus text exposition format (v0.0.4) of one snapshot.
+
+    Histograms render cumulatively with the ``+Inf`` bucket plus
+    ``_sum``/``_count`` series, counters and gauges as single samples;
+    families are announced once with a ``# TYPE`` line.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def announce(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for point in snap.counters:
+        announce(point.name, "counter")
+        lines.append(
+            f"{point.name}{_format_labels(point.labels)} "
+            f"{_format_value(point.value)}"
+        )
+    for point in snap.gauges:
+        announce(point.name, "gauge")
+        lines.append(
+            f"{point.name}{_format_labels(point.labels)} "
+            f"{_format_value(point.value)}"
+        )
+    for point in snap.histograms:
+        announce(point.name, "histogram")
+        cumulative = 0
+        for bound, count in zip(point.bounds, point.counts):
+            cumulative += count
+            lines.append(
+                f"{point.name}_bucket"
+                f"{_format_labels(point.labels, (('le', _format_bound(bound)),))} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{point.name}_bucket"
+            f"{_format_labels(point.labels, (('le', '+Inf'),))} {point.count}"
+        )
+        lines.append(
+            f"{point.name}_sum{_format_labels(point.labels)} "
+            f"{_format_value(point.sum)}"
+        )
+        lines.append(
+            f"{point.name}_count{_format_labels(point.labels)} {point.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(snap: MetricsSnapshot, indent: int | None = None) -> str:
+    """A JSON rendering (stable key order) of one snapshot."""
+    payload = {
+        "counters": [
+            {"name": p.name, "labels": dict(p.labels), "value": p.value}
+            for p in snap.counters
+        ],
+        "gauges": [
+            {"name": p.name, "labels": dict(p.labels), "value": p.value}
+            for p in snap.gauges
+        ],
+        "histograms": [
+            {
+                "name": p.name,
+                "labels": dict(p.labels),
+                "bounds": list(p.bounds),
+                "counts": list(p.counts),
+                "sum": p.sum,
+                "count": p.count,
+            }
+            for p in snap.histograms
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot arithmetic
+# ---------------------------------------------------------------------------
+
+
+def diff(new: MetricsSnapshot, old: MetricsSnapshot) -> MetricsSnapshot:
+    """``new - old``: the activity between two snapshots.
+
+    Counters and histograms subtract point-wise (series absent from
+    ``old`` keep their ``new`` values — they started at zero); gauges are
+    point-in-time, so the diff simply carries the ``new`` gauges.  The
+    benchmarks use this to isolate one measurement window from whatever
+    warmup traffic preceded it, and the CI smoke uses it to assert
+    monotonicity (every diffed counter must be >= 0).
+    """
+    old_counters = {(p.name, p.labels): p for p in old.counters}
+    counters = []
+    for point in new.counters:
+        before = old_counters.get((point.name, point.labels))
+        value = point.value - before.value if before is not None else point.value
+        counters.append(CounterPoint(point.name, point.labels, value))
+    old_hists = {(p.name, p.labels): p for p in old.histograms}
+    histograms = []
+    for point in new.histograms:
+        before = old_hists.get((point.name, point.labels))
+        if before is not None and before.bounds == point.bounds:
+            counts = tuple(
+                (np.asarray(point.counts) - np.asarray(before.counts)).tolist()
+            )
+            histograms.append(
+                HistogramPoint(
+                    point.name,
+                    point.labels,
+                    point.bounds,
+                    counts,
+                    point.sum - before.sum,
+                    point.count - before.count,
+                )
+            )
+        else:
+            histograms.append(point)
+    return MetricsSnapshot(
+        counters=tuple(counters),
+        gauges=new.gauges,
+        histograms=tuple(histograms),
+    )

@@ -1,0 +1,215 @@
+"""Lightweight span trees: where a request's time actually went.
+
+Metrics aggregate; traces explain.  A :class:`SpanRecorder` hands out
+context-managed spans that nest per thread (child spans inherit their
+parent's ``trace_id``), stamps them with durations from an injectable
+monotonic clock, and keeps the most recent completed spans in a fixed
+ring buffer.
+
+Two disciplines matter more here than features:
+
+* **No RNG, ever.**  Trace and span ids come from a process-local
+  monotone counter, and the sampling knob is deterministic (every
+  ``sample_every``-th root trace is kept).  Served answers are a pure
+  function of (construction path, RNG stream position); a tracer that
+  consumed randomness — or perturbed iteration order — would break the
+  repo-wide bit-identity contract.  This one touches neither.
+* **Explicit clock injection.**  Tests drive a fake clock and assert
+  exact durations; production uses ``time.monotonic``.  Durations never
+  come from wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span: identity, tree position, and duration."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    duration: float
+    annotations: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def root(self) -> bool:
+        return self.parent_id is None
+
+
+@dataclass
+class _ActiveSpan:
+    """A span still open; becomes a frozen :class:`Span` on exit."""
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    annotations: list[tuple[str, str]] = field(default_factory=list)
+
+    def annotate(self, key: str, value: object) -> None:
+        """Attach a key/value note (stringified) to this span."""
+        self.annotations.append((key, str(value)))
+
+
+class _Unsampled:
+    """Sentinel marking the current thread inside a dropped trace."""
+
+    __slots__ = ()
+
+
+_UNSAMPLED = _Unsampled()
+
+
+class SpanRecorder:
+    """Ring buffer of completed spans with deterministic sampling.
+
+    Args:
+        capacity: how many completed spans the ring retains (oldest are
+            overwritten).
+        sample_every: keep every k-th *root* trace (1 = keep all).  A
+            dropped root drops its whole subtree at near-zero cost: the
+            thread is marked unsampled and child spans return ``None``
+            without touching the clock or the ring.
+        clock: the monotonic time source durations are measured on.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        sample_every: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        self.capacity = int(capacity)
+        self.sample_every = int(sample_every)
+        self._clock = clock
+        self._ring: list[Span | None] = [None] * self.capacity
+        self._total = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._roots = itertools.count()
+        self._local = threading.local()
+
+    @property
+    def total_recorded(self) -> int:
+        """Completed spans ever recorded (including ones overwritten)."""
+        with self._lock:
+            return self._total
+
+    @contextmanager
+    def span(self, name: str, **annotations) -> Iterator[_ActiveSpan | None]:
+        """Open a span; yields the active span (or ``None`` if unsampled)."""
+        parent = getattr(self._local, "current", None)
+        if parent is None:
+            if next(self._roots) % self.sample_every != 0:
+                self._local.current = _UNSAMPLED
+                try:
+                    yield None
+                finally:
+                    self._local.current = None
+                return
+            identity = next(self._ids)
+            active = _ActiveSpan(identity, identity, None, name, self._clock())
+        elif parent is _UNSAMPLED:
+            yield None
+            return
+        else:
+            active = _ActiveSpan(
+                parent.trace_id,
+                next(self._ids),
+                parent.span_id,
+                name,
+                self._clock(),
+            )
+        for key, value in annotations.items():
+            active.annotate(key, value)
+        self._local.current = active
+        try:
+            yield active
+        finally:
+            end = self._clock()
+            self._local.current = parent
+            self._record(
+                Span(
+                    trace_id=active.trace_id,
+                    span_id=active.span_id,
+                    parent_id=active.parent_id,
+                    name=active.name,
+                    start=active.start,
+                    duration=end - active.start,
+                    annotations=tuple(active.annotations),
+                )
+            )
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._ring[self._total % self.capacity] = span
+            self._total += 1
+
+    def spans(self) -> tuple[Span, ...]:
+        """Retained completed spans, oldest first."""
+        with self._lock:
+            if self._total <= self.capacity:
+                return tuple(s for s in self._ring[: self._total])
+            head = self._total % self.capacity
+            return tuple(self._ring[head:] + self._ring[:head])
+
+    def traces(self) -> tuple[int, ...]:
+        """Distinct trace ids among retained spans, in completion order."""
+        seen: dict[int, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return tuple(seen)
+
+    def trace(self, trace_id: int) -> tuple[Span, ...]:
+        """Retained spans of one trace, oldest first."""
+        return tuple(s for s in self.spans() if s.trace_id == trace_id)
+
+    def render(self, trace_id: int) -> str:
+        """An indented text tree of one trace (children under parents).
+
+        Spans whose parents were overwritten by the ring render at the
+        top level — the tree degrades, it never raises.
+        """
+        spans = self.trace(trace_id)
+        by_parent: dict[int | None, list[Span]] = {}
+        present = {span.span_id for span in spans}
+        for span in spans:
+            parent = span.parent_id if span.parent_id in present else None
+            by_parent.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def walk(parent: int | None, depth: int) -> None:
+            for span in sorted(by_parent.get(parent, []), key=lambda s: s.start):
+                note = "".join(
+                    f" {key}={value}" for key, value in span.annotations
+                )
+                lines.append(
+                    f"{'  ' * depth}{span.name}  {span.duration * 1e3:.3f} ms{note}"
+                )
+                walk(span.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder(capacity={self.capacity}, "
+            f"sample_every={self.sample_every}, recorded={self.total_recorded})"
+        )

@@ -48,6 +48,30 @@ def test_e18_quick_headline_bit_identical():
     assert float(headline["attacker_epsilon_spent"]).hex() == "0x1.f000000000000p+6"
 
 
+def test_e18_headline_unchanged_by_telemetry_and_tracing(monkeypatch):
+    # Telemetry is a pure observer: the golden headline must be identical
+    # with REPRO_TELEMETRY=1 and with E18's span tracing enabled.
+    from repro.experiments.e18_service_audit import run as run_e18
+
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    reference = run_experiment("E18", seed=0, quick=True).headline
+    traced = run_e18(seed=0, quick=True, trace=True)
+    assert traced.headline == reference
+    assert any("wall-clock" in table.title for table in traced.tables)
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    assert run_experiment("E18", seed=0, quick=True).headline == reference
+
+
+def test_e21_headline_unchanged_by_telemetry(monkeypatch):
+    # The gated serve/certify path is instrumented too; the E21 pins below
+    # must hold with the process-default telemetry switched on.
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    headline = run_experiment("E21", seed=0, quick=True).headline
+    assert headline["mwem_certificate"] == "ff7cb54062580a4d13f72542b8b38a7f"
+    assert float(headline["census_epsilon_charged"]).hex() == "0x1.0000000000000p+0"
+    assert float(headline["interactive_epsilon"]).hex() == "0x1.8000000000000p+1"
+
+
 def test_e21_quick_headline_bit_identical():
     headline = run_experiment("E21", seed=0, quick=True).headline
     assert headline["mwem_approved"] is True

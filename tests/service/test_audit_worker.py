@@ -1,0 +1,114 @@
+"""AuditWorkerPool lifecycle: flush timeouts, post-close fallback, errors.
+
+The pool's contract under stress: a flush that cannot drain in time says
+so (``False``) instead of hanging forever; signals arriving after
+``close()`` still get their verdicts (inline, like the pre-refactor
+path); and a failing background pass surfaces as a ``RuntimeWarning``
+plus a retrievable exception — never a silently dead worker.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import QueryServer, ReconstructionAuditor
+from repro.service.audit_worker import AuditWorkerPool
+from repro.utils.rng import derive_rng
+
+N = 64
+
+
+def make_data(seed=21):
+    return derive_rng(seed, "audit-worker-test").integers(0, 2, size=N)
+
+
+def make_log(data):
+    return QueryServer(data, "exact").audit_log
+
+
+class TestFlushTimeout:
+    def test_flush_times_out_while_pass_blocks_then_succeeds(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(data)
+        pool = AuditWorkerPool(auditor, workers=1)
+        release = threading.Event()
+        original = auditor.maybe_audit
+
+        def blocking_maybe_audit(log, analyst):
+            release.wait(10.0)
+            return original(log, analyst)
+
+        auditor.maybe_audit = blocking_maybe_audit
+        pool.after_append(make_log(data), "alice")
+        # The pass is parked on the event: a bounded flush must expire...
+        assert pool.flush(timeout=0.05) is False
+        # ...and an unbounded one must succeed once the pass can finish.
+        release.set()
+        assert pool.flush(timeout=10.0) is True
+        pool.close()
+
+    def test_flush_with_nothing_pending_returns_immediately(self):
+        pool = AuditWorkerPool(ReconstructionAuditor(make_data()), workers=1)
+        assert pool.flush(timeout=0.0) is True
+        pool.close()
+
+
+class TestPostCloseFallback:
+    def test_late_signals_run_inline(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(data)
+        pool = AuditWorkerPool(auditor, workers=1)
+        pool.close()
+        calls = []
+        original = auditor.maybe_audit
+        auditor.maybe_audit = lambda log, analyst: (
+            calls.append((threading.get_ident(), analyst)),
+            original(log, analyst),
+        )[1]
+        pool.after_append(make_log(data), "alice")
+        # The verdict was produced synchronously on the calling thread.
+        assert calls == [(threading.get_ident(), "alice")]
+
+    def test_close_is_idempotent(self):
+        pool = AuditWorkerPool(ReconstructionAuditor(make_data()), workers=2)
+        pool.close()
+        pool.close()  # second close must be a no-op, not a hang
+
+
+class TestErrorSurfacing:
+    def test_failed_pass_warns_and_is_retrievable(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(data)
+        auditor.maybe_audit = lambda log, analyst: (_ for _ in ()).throw(
+            ValueError("solver exploded")
+        )
+        pool = AuditWorkerPool(auditor, workers=1)
+        with pytest.warns(RuntimeWarning, match="background audit pass"):
+            pool.after_append(make_log(data), "alice")
+            assert pool.flush(timeout=10.0)
+        assert len(pool.errors) == 1
+        assert isinstance(pool.errors[0], ValueError)
+
+    def test_failed_pass_does_not_kill_the_worker(self):
+        data = make_data()
+        auditor = ReconstructionAuditor(data)
+        original = auditor.maybe_audit
+        fail_once = [True]
+
+        def flaky(log, analyst):
+            if fail_once[0]:
+                fail_once[0] = False
+                raise ValueError("transient")
+            return original(log, analyst)
+
+        auditor.maybe_audit = flaky
+        pool = AuditWorkerPool(auditor, workers=1)
+        log = make_log(data)
+        with pytest.warns(RuntimeWarning):
+            pool.after_append(log, "alice")
+            assert pool.flush(timeout=10.0)
+        # The same worker thread must still process fresh signals.
+        pool.after_append(log, "alice")
+        assert pool.flush(timeout=10.0)
+        assert len(pool.errors) == 1
+        pool.close()

@@ -1,0 +1,362 @@
+"""Telemetry across the serve stack: instruments fill, answers never change.
+
+Two contracts are pinned here.  First, the *observability* contract: with
+telemetry enabled, every pipeline stage's latency histogram fills, admission
+rejects are counted by reason, cache and audit and budget state is visible
+in one snapshot.  Second — the one that matters for the paper — the
+*bit-identity* contract: telemetry must be a pure observer.  Answers,
+budget-exhaustion points, and audit verdicts are byte-for-byte identical
+with telemetry on or off, because the instrumentation never touches RNG
+streams, lock ordering, or served values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compliance import ComplianceDenied, ComplianceGate
+from repro.privacy.accounting import BudgetExhausted, ShardedAccountant
+from repro.queries.query import SubsetQuery
+from repro.queries.workload import Workload
+from repro.service import (
+    QueryServer,
+    RateLimit,
+    ReconstructionAuditor,
+    Rejected,
+    ShardedQueryServer,
+)
+from repro.service.audit_worker import AuditWorkerPool
+from repro.telemetry import NULL_TELEMETRY, Telemetry, to_prometheus
+from repro.telemetry.instrument import (
+    ADMISSION_REJECTS,
+    AUDIT_PASS_SECONDS,
+    AUDIT_QUEUE_DEPTH,
+    BUDGET_EPSILON_REMAINING,
+    BUDGET_EPSILON_SPENT,
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    COMPLIANCE_DENIALS,
+    COMPLIANCE_REQUIRE_SECONDS,
+    LEASE_RECONCILIATIONS,
+    REQUESTS_TOTAL,
+    STAGE_SECONDS,
+    analyst_digest_prefix,
+)
+from repro.utils.rng import derive_rng
+
+N = 96
+STAGES = (
+    "compliance",
+    "cache_lookup",
+    "budget_reserve",
+    "execute",
+    "cache_put",
+    "audit_append",
+)
+
+
+def make_data(seed=11):
+    return derive_rng(seed, "telemetry-test").integers(0, 2, size=N)
+
+
+def make_queries(count, seed=5):
+    rng = derive_rng(seed, "telemetry-queries")
+    return [SubsetQuery(rng.random(N) < 0.5) for _ in range(count)]
+
+
+class TestPipelineInstrumentation:
+    def test_workload_fills_every_stage_histogram(self):
+        telemetry = Telemetry()
+        server = QueryServer(make_data(), telemetry=telemetry)
+        server.ask_workload("alice", Workload.random(N, 8, rng=0))
+        snap = telemetry.snapshot()
+        for stage in STAGES:
+            point = snap.histogram_point(
+                STAGE_SECONDS, stage=stage, shard="0", mechanism="laplace"
+            )
+            assert point is not None and point.count > 0, stage
+
+    def test_single_miss_and_fused_hit_paths(self):
+        telemetry = Telemetry()
+        server = QueryServer(make_data(), telemetry=telemetry)
+        query = make_queries(1)[0]
+        server.ask("alice", query)
+        server.ask("alice", query)
+        snap = telemetry.snapshot()
+        miss = snap.histogram_point(
+            STAGE_SECONDS, stage="single_miss", shard="0", mechanism="laplace"
+        )
+        hit = snap.histogram_point(
+            STAGE_SECONDS, stage="cache_hit_fastpath", shard="0", mechanism="laplace"
+        )
+        assert miss.count == 1
+        assert hit.count == 1
+        assert miss.sum > 0 and hit.sum > 0
+
+    def test_requests_counted_per_analyst_digest(self):
+        telemetry = Telemetry()
+        server = QueryServer(make_data(), telemetry=telemetry)
+        queries = make_queries(3)
+        for query in queries:
+            server.ask("alice", query)
+        snap = telemetry.snapshot()
+        value = snap.counter_value(
+            REQUESTS_TOTAL,
+            analyst=analyst_digest_prefix("alice"),
+            shard="0",
+            mechanism="laplace",
+        )
+        assert value == 3.0
+
+    def test_stage_names_and_repr_unchanged(self):
+        instrumented = QueryServer(make_data(), telemetry=Telemetry())
+        plain = QueryServer(make_data())
+        assert [s.name for s in instrumented.pipeline.stages] == [
+            s.name for s in plain.pipeline.stages
+        ]
+        assert repr(instrumented.pipeline) == repr(plain.pipeline)
+
+    def test_disabled_pipeline_carries_no_wrappers(self):
+        server = QueryServer(make_data(), telemetry=False)
+        assert server.pipeline._telemetry is None
+        for stage in server.pipeline._serving:
+            assert type(stage).__name__ != "TelemetryStage"
+
+
+class TestAdmissionInstrumentation:
+    def test_rate_limit_rejects_counted_by_reason(self):
+        telemetry = Telemetry()
+        now = [0.0]
+        server = ShardedQueryServer(
+            make_data(),
+            seed=3,
+            shards=2,
+            rate_limit=RateLimit(rate=1.0, burst=1),
+            clock=lambda: now[0],
+            telemetry=telemetry,
+        )
+        queries = make_queries(3)
+        server.ask("alice", queries[0])
+        with pytest.raises(Rejected):
+            server.ask("alice", queries[1])
+        shard = str(server.shard_of("alice"))
+        snap = telemetry.snapshot()
+        assert (
+            snap.counter_value(ADMISSION_REJECTS, reason="rate_limit", shard=shard)
+            == 1.0
+        )
+        # Families are pre-created at zero: overload is present untouched.
+        assert (
+            snap.counter_value(ADMISSION_REJECTS, reason="overload", shard=shard)
+            == 0.0
+        )
+
+    def test_admission_stage_latency_recorded(self):
+        telemetry = Telemetry()
+        server = ShardedQueryServer(
+            make_data(),
+            seed=3,
+            shards=2,
+            rate_limit=RateLimit(rate=1000.0, burst=100),
+            telemetry=telemetry,
+        )
+        server.ask("alice", make_queries(1)[0])
+        shard = str(server.shard_of("alice"))
+        point = telemetry.snapshot().histogram_point(
+            STAGE_SECONDS, stage="admission", shard=shard, mechanism="laplace"
+        )
+        assert point.count == 1
+
+
+class TestCacheInstrumentation:
+    def test_stripe_counters_visible_in_snapshot(self):
+        telemetry = Telemetry()
+        server = ShardedQueryServer(make_data(), seed=3, shards=2, telemetry=telemetry)
+        query = make_queries(1)[0]
+        server.ask("alice", query)
+        server.ask("alice", query)
+        snap = telemetry.snapshot()
+        total_hits = sum(
+            point.value for point in snap.counters if point.name == CACHE_HITS
+        )
+        assert total_hits == 1.0
+
+    def test_evictions_counted_and_aggregated(self):
+        telemetry = Telemetry()
+        server = ShardedQueryServer(
+            make_data(),
+            seed=3,
+            shards=1,
+            cache_entries=2,
+            cache_stripes=1,
+            telemetry=telemetry,
+        )
+        for query in make_queries(5):
+            server.ask("alice", query)
+        stats = server.stats()
+        assert stats["evictions"] == 3
+        assert stats["entries"] == 2
+        assert stats["misses"] == 5
+        snap = telemetry.snapshot()
+        total_evictions = sum(
+            point.value for point in snap.counters if point.name == CACHE_EVICTIONS
+        )
+        assert total_evictions == 3.0
+
+    def test_stats_drills_down_per_shard_and_stripe(self):
+        server = ShardedQueryServer(make_data(), shards=2, cache_stripes=4)
+        server.ask("alice", make_queries(1)[0])
+        stats = server.stats()
+        assert len(stats["per_shard"]) == 2
+        assert len(stats["per_shard"][0]["per_stripe"]) == 4
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.0
+
+
+class TestAuditInstrumentation:
+    @staticmethod
+    def make_auditor(data):
+        return ReconstructionAuditor(
+            data,
+            agreement_threshold=0.99,
+            audit_every=N // 8,
+            min_queries=N // 4,
+            alpha=None,
+            screen="l2",
+        )
+
+    def test_pool_reports_depth_and_pass_latency(self):
+        telemetry = Telemetry()
+        data = make_data()
+        auditor = self.make_auditor(data)
+        pool = AuditWorkerPool(auditor, workers=2, telemetry=telemetry)
+        server = QueryServer(
+            data, auditor=auditor, audit_dispatch=pool, telemetry=telemetry
+        )
+        rng = derive_rng(0, "audit-traffic")
+        for _ in range(4):
+            server.ask_workload("alice", Workload.random(N, N // 4, rng=rng))
+        assert pool.flush(timeout=10.0)
+        snap = telemetry.snapshot()
+        depth = [p for p in snap.gauges if p.name == AUDIT_QUEUE_DEPTH]
+        assert depth and depth[0].value == 0.0  # drained
+        assert pool.depth_peak >= 1
+        passes = [p for p in snap.histograms if p.name == AUDIT_PASS_SECONDS]
+        assert sum(p.count for p in passes) >= 1
+        server.close()
+
+    def test_bind_telemetry_is_idempotent(self):
+        telemetry = Telemetry()
+        auditor = self.make_auditor(make_data())
+        pool = AuditWorkerPool(auditor, workers=1)
+        pool.bind_telemetry(telemetry)
+        first = pool._pass_hist
+        pool.bind_telemetry(telemetry)  # every shard server calls in
+        assert pool._pass_hist is first
+        pool.close()
+
+
+class TestComplianceInstrumentation:
+    def test_require_timed_and_denials_counted(self):
+        telemetry = Telemetry()
+        gate = ComplianceGate(telemetry=telemetry)
+        with pytest.raises(ComplianceDenied):
+            gate.require(None, subject="mechanism-spec")
+        snap = telemetry.snapshot()
+        hist = snap.histogram_point(COMPLIANCE_REQUIRE_SECONDS)
+        assert hist.count == 1
+        assert (
+            snap.counter_value(
+                COMPLIANCE_DENIALS,
+                reason="unspecified-release",
+                requirement="unspecified-release",
+            )
+            == 1.0
+        )
+
+    def test_untelemetered_gate_has_no_overhead_path(self):
+        gate = ComplianceGate()
+        assert gate._telemetry is None
+        with pytest.raises(ComplianceDenied):
+            gate.require(None)
+
+
+class TestAccountantInstrumentation:
+    def test_budget_gauges_and_reconciliations(self):
+        telemetry = Telemetry()
+        accountant = ShardedAccountant(None, 4.0, shards=2, lease_chunk=0.5)
+        server = ShardedQueryServer(
+            make_data(),
+            "laplace",
+            {"epsilon_per_query": 0.5},
+            accountant=accountant,
+            seed=3,
+            shards=2,
+            telemetry=telemetry,
+        )
+        for query in make_queries(4):
+            server.ask("alice", query)
+        snap = telemetry.snapshot()
+        spent = snap.gauge_value(BUDGET_EPSILON_SPENT)
+        remaining = snap.gauge_value(BUDGET_EPSILON_REMAINING)
+        assert spent == pytest.approx(accountant.global_spent())
+        assert remaining == pytest.approx(4.0 - accountant.global_spent())
+        assert accountant.reconciliations >= 1
+        assert snap.counter_value(LEASE_RECONCILIATIONS) == float(
+            accountant.reconciliations
+        )
+
+
+class TestBitIdentity:
+    def test_answers_identical_with_telemetry_on_or_off(self):
+        data = make_data()
+        instrumented = ShardedQueryServer(
+            data, "laplace", seed=3, shards=4, telemetry=Telemetry()
+        )
+        plain = ShardedQueryServer(data, "laplace", seed=3, shards=4, telemetry=False)
+        queries = make_queries(10)
+        for analyst in ("alice", "bob"):
+            for query in queries:
+                assert instrumented.ask(analyst, query) == plain.ask(analyst, query)
+        workload = Workload.random(N, 20, rng=derive_rng(1, "wl"))
+        np.testing.assert_array_equal(
+            instrumented.ask_workload("carol", workload),
+            plain.ask_workload("carol", workload),
+        )
+
+    def test_exhaustion_points_identical(self):
+        data = make_data()
+        outcomes = []
+        for telemetry in (Telemetry(), False):
+            server = ShardedQueryServer(
+                data,
+                "laplace",
+                {"epsilon_per_query": 0.5},
+                accountant=ShardedAccountant(3.0, 8.0, shards=4),
+                seed=3,
+                shards=4,
+                telemetry=telemetry,
+            )
+            log = []
+            for query in make_queries(30):
+                try:
+                    log.append(server.ask("alice", query))
+                except BudgetExhausted as refusal:
+                    log.append((str(refusal), refusal.scope))
+            outcomes.append(log)
+        assert outcomes[0] == outcomes[1]
+
+    def test_env_var_enablement_is_bit_identical(self, monkeypatch):
+        data = make_data()
+        queries = make_queries(6)
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        reference = QueryServer(data, seed=3)
+        plain = [reference.ask("alice", q) for q in queries]
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        server = QueryServer(data, seed=3)
+        assert server.telemetry.enabled
+        assert [server.ask("alice", q) for q in queries] == plain
+
+    def test_null_telemetry_snapshot_is_empty_after_traffic(self):
+        server = QueryServer(make_data(), telemetry=NULL_TELEMETRY)
+        server.ask("alice", make_queries(1)[0])
+        assert to_prometheus(NULL_TELEMETRY.snapshot()) == ""

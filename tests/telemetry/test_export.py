@@ -1,0 +1,116 @@
+"""Tests for snapshots, the Prometheus/JSON renderers, and diff()."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.export import diff, snapshot, to_json, to_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", shard="0").inc(4)
+    registry.gauge("repro_depth", pool="0").set(2.0)
+    hist = registry.histogram("repro_latency_seconds", bounds=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestSnapshot:
+    def test_accepts_registry_or_facade(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("c_total").inc()
+        assert snapshot(telemetry) == snapshot(telemetry.registry)
+
+    def test_rejects_non_registry(self):
+        with pytest.raises(TypeError, match="MetricsRegistry"):
+            snapshot(42)
+
+    def test_equal_state_compares_equal(self):
+        first = snapshot(populated_registry())
+        second = snapshot(populated_registry())
+        assert first == second
+
+    def test_lookup_helpers(self):
+        snap = snapshot(populated_registry())
+        assert snap.counter_value("repro_requests_total", shard="0") == 4.0
+        assert snap.counter_value("repro_requests_total", shard="9") is None
+        assert snap.gauge_value("repro_depth", pool="0") == 2.0
+        point = snap.histogram_point("repro_latency_seconds")
+        assert point.counts == (1, 1, 1)
+        assert point.count == 3
+
+    def test_families_sorted(self):
+        snap = snapshot(populated_registry())
+        assert snap.families() == (
+            "repro_depth",
+            "repro_latency_seconds",
+            "repro_requests_total",
+        )
+
+
+class TestPrometheusText:
+    def test_type_lines_and_samples(self):
+        text = to_prometheus(snapshot(populated_registry()))
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{shard="0"} 4' in text
+        assert "# TYPE repro_depth gauge" in text
+
+    def test_histogram_renders_cumulative_with_inf(self):
+        text = to_prometheus(snapshot(populated_registry()))
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert "repro_latency_seconds_sum" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", note='say "hi"\n').inc()
+        text = to_prometheus(snapshot(registry))
+        assert r'note="say \"hi\"\n"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(snapshot(MetricsRegistry())) == ""
+
+
+class TestJson:
+    def test_round_trips_through_json(self):
+        payload = json.loads(to_json(snapshot(populated_registry())))
+        assert payload["counters"][0]["value"] == 4.0
+        assert payload["histograms"][0]["counts"] == [1, 1, 1]
+
+
+class TestDiff:
+    def test_counters_subtract_pointwise(self):
+        registry = populated_registry()
+        before = snapshot(registry)
+        registry.counter("repro_requests_total", shard="0").inc(6)
+        window = diff(snapshot(registry), before)
+        assert window.counter_value("repro_requests_total", shard="0") == 6.0
+
+    def test_histograms_subtract_bucketwise(self):
+        registry = populated_registry()
+        before = snapshot(registry)
+        registry.histogram("repro_latency_seconds", bounds=(0.1, 1.0)).observe(0.5)
+        window = diff(snapshot(registry), before)
+        point = window.histogram_point("repro_latency_seconds")
+        assert point.counts == (0, 1, 0)
+        assert point.count == 1
+
+    def test_series_absent_from_old_keep_new_value(self):
+        registry = populated_registry()
+        before = snapshot(MetricsRegistry())
+        window = diff(snapshot(registry), before)
+        assert window.counter_value("repro_requests_total", shard="0") == 4.0
+
+    def test_gauges_carry_new_values(self):
+        registry = populated_registry()
+        before = snapshot(registry)
+        registry.gauge("repro_depth", pool="0").set(9.0)
+        window = diff(snapshot(registry), before)
+        assert window.gauge_value("repro_depth", pool="0") == 9.0

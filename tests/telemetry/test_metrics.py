@@ -1,0 +1,159 @@
+"""Tests for the metric primitives and the registry."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    canonical_labels,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError, match=">= 0"):
+            counter.inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self):
+        counter = Counter("c_total")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000.0
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(4.0)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_buckets_values_inclusively(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            hist.observe(value)
+        # bisect_left over inclusive upper edges: 0.5 and 1.0 land in the
+        # first bucket (le=1), 1.5 in le=2, 4.0 in le=5, 100 overflows.
+        assert tuple(hist.counts) == (2, 1, 1, 1)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(107.0)
+
+    def test_counts_is_zero_copy_view(self):
+        hist = Histogram("h", bounds=(1.0,))
+        view = hist.counts
+        assert view.dtype == np.int64
+        hist.observe(0.5)
+        assert view[0] == 1  # the view is live, not a copy
+
+    def test_default_bounds_are_latency_shaped(self):
+        hist = Histogram("h")
+        assert hist.bounds == DEFAULT_LATENCY_BUCKETS
+        assert len(hist.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", bounds=())
+
+    def test_read_is_consistent(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        counts, total, count = hist.read()
+        assert counts == (1, 1)
+        assert total == pytest.approx(3.5)
+        assert count == 2
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", shard="0")
+        b = registry.counter("c_total", shard="0")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", shard="0", stage="execute")
+        b = registry.counter("c_total", stage="execute", shard="0")
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", shard="0")
+        b = registry.counter("c_total", shard="1")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m", shard="0")
+        with pytest.raises(TypeError, match="is a counter"):
+            registry.gauge("m", shard="0")
+
+    def test_callback_counter_sampled_at_snapshot(self):
+        registry = MetricsRegistry()
+        hits = {"n": 0}
+        registry.counter_fn("hits_total", lambda: float(hits["n"]))
+        assert registry.snapshot().counter_value("hits_total") == 0.0
+        hits["n"] = 7
+        assert registry.snapshot().counter_value("hits_total") == 7.0
+
+    def test_callback_failure_repeats_last_sample(self):
+        registry = MetricsRegistry()
+        state = {"value": 3.0, "broken": False}
+
+        def read():
+            if state["broken"]:
+                raise RuntimeError("component gone")
+            return state["value"]
+
+        registry.gauge_fn("depth", read)
+        assert registry.snapshot().gauge_value("depth") == 3.0
+        state["broken"] = True
+        assert registry.snapshot().gauge_value("depth") == 3.0
+
+    def test_callback_reregistration_rebinds(self):
+        registry = MetricsRegistry()
+        registry.counter_fn("hits_total", lambda: 1.0)
+        registry.counter_fn("hits_total", lambda: 5.0)
+        assert registry.snapshot().counter_value("hits_total") == 5.0
+
+    def test_callback_cannot_take_over_stored_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        with pytest.raises(TypeError, match="stored counter"):
+            registry.counter_fn("c_total", lambda: 1.0)
+
+    def test_canonical_labels_stringify(self):
+        assert canonical_labels({"shard": 3, "a": "x"}) == (
+            ("a", "x"),
+            ("shard", "3"),
+        )

@@ -70,6 +70,7 @@ class TestTopLevelExports:
             "repro.compliance",
             "repro.service",
             "repro.synth",
+            "repro.telemetry",
             "repro.experiments",
         ):
             module = importlib.import_module(name)
@@ -92,7 +93,20 @@ class TestTopLevelExports:
             "repro.compliance",
             "repro.service",
             "repro.synth",
+            "repro.telemetry",
         ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):
                 assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    def test_telemetry_surface_via_top_level(self):
+        # The observability surface is a first-class export: an isolated
+        # registry records, and snapshot() freezes it.
+        registry = repro.MetricsRegistry()
+        registry.counter("repro_test_total", shard="0").inc(3)
+        snap = repro.snapshot(registry)
+        assert snap.counter_value("repro_test_total", shard="0") == 3.0
+        recorder = repro.SpanRecorder()
+        with recorder.span("root"):
+            pass
+        assert recorder.total_recorded == 1
